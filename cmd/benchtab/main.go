@@ -1,0 +1,82 @@
+// Command benchtab regenerates the paper's Table 1 over the synthetic
+// workload suite: flow- and context-sensitive alias analysis without
+// clustering, with Steensgaard clustering, and with bootstrapped Andersen
+// clustering, including the greedy 5-machine parallel simulation.
+//
+// Usage:
+//
+//	benchtab [-scale 0.2] [-rows sock,autofs,sendmail] [-compare] [-sweep autofs]
+//
+// Absolute times differ from the paper's 2008 hardware; the shape — who
+// wins, by what rough factor, and where Andersen clustering stops paying
+// off — is the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bootstrap/internal/bench"
+	"bootstrap/internal/synth"
+)
+
+var (
+	scale   = flag.Float64("scale", 0.2, "workload scale (1.0 = paper-sized)")
+	parts   = flag.Int("parts", 5, "simulated machines for the parallel columns")
+	budget  = flag.Int64("budget", 3_000_000, "work budget for the unclustered baseline (the 15-min analogue)")
+	rows    = flag.String("rows", "", "comma-separated benchmark names (default: all 20)")
+	skipNC  = flag.Bool("skip-monolithic", false, "skip the unclustered baseline column")
+	compare = flag.Bool("compare", false, "also print the paper-vs-measured comparison")
+	sweep   = flag.String("sweep", "", "run the Andersen-threshold ablation on this benchmark instead")
+)
+
+func main() {
+	flag.Parse()
+	opt := bench.Options{
+		Scale:            *scale,
+		Parts:            *parts,
+		Budget:           *budget,
+		SkipNoClustering: *skipNC,
+	}
+	if *sweep != "" {
+		b, ok := synth.FindBenchmark(*sweep)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown benchmark %q\n", *sweep)
+			os.Exit(1)
+		}
+		points, err := bench.ThresholdSweep(b, []int{4, 8, 16, 32, 60, 120, 1 << 30}, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Andersen-threshold ablation on %s (scale %.2f):\n", b.Name, *scale)
+		fmt.Print(bench.FormatSweep(points))
+		return
+	}
+
+	suite := synth.Table1
+	if *rows != "" {
+		suite = nil
+		for _, name := range strings.Split(*rows, ",") {
+			b, ok := synth.FindBenchmark(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown benchmark %q\n", name)
+				os.Exit(1)
+			}
+			suite = append(suite, b)
+		}
+	}
+	measured, err := bench.RunTable(suite, opt, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nTable 1 (scale %.2f, %d simulated machines):\n\n", *scale, *parts)
+	fmt.Print(bench.FormatTable(measured))
+	if *compare {
+		fmt.Println("\nPaper vs measured (shape comparison):")
+		fmt.Print(bench.FormatComparison(measured))
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"bootstrap/internal/core"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]core.Mode{
+		"none": core.ModeNone, "steensgaard": core.ModeSteensgaard,
+		"steens": core.ModeSteensgaard, "andersen": core.ModeAndersen,
+		"syntactic": core.ModeSyntactic,
+	}
+	for s, want := range cases {
+		got, err := parseMode(s)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := parseMode("bogus"); err == nil {
+		t.Error("parseMode should reject unknown modes")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v", got)
+	}
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitList[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// resetFlags restores this command's flags (not the test framework's) to
+// their defaults between runs.
+func resetFlags() {
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		if !strings.HasPrefix(f.Name, "test.") {
+			_ = f.Value.Set(f.DefValue)
+		}
+	})
+}
+
+func TestRunOnDriver(t *testing.T) {
+	const path = "../../testdata/driver.cpl"
+	resetFlags()
+	if err := run(path); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+	resetFlags()
+	for _, set := range [][2]string{
+		{"partitions", "true"},
+		{"clusters", "true"},
+		{"stats", "true"},
+		{"races", "true"},
+		{"dump", "true"},
+	} {
+		resetFlags()
+		if err := flag.Set(set[0], set[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(path); err != nil {
+			t.Fatalf("-%s run: %v", set[0], err)
+		}
+	}
+	// Queries.
+	resetFlags()
+	_ = flag.Set("pts", "lp,dev.owner")
+	_ = flag.Set("aliases", "lp")
+	if err := run(path); err != nil {
+		t.Fatalf("query run: %v", err)
+	}
+	// Query in a named function.
+	resetFlags()
+	_ = flag.Set("pts", "dev.state")
+	_ = flag.Set("at", "thread_open")
+	if err := run(path); err != nil {
+		t.Fatalf("-at run: %v", err)
+	}
+	// Errors.
+	resetFlags()
+	_ = flag.Set("pts", "nosuchvar")
+	if err := run(path); err == nil {
+		t.Error("unknown variable should error")
+	}
+	resetFlags()
+	_ = flag.Set("at", "nosuchfunc")
+	_ = flag.Set("pts", "lp")
+	if err := run(path); err == nil {
+		t.Error("unknown function should error")
+	}
+	resetFlags()
+	_ = flag.Set("mode", "bogus")
+	if err := run(path); err == nil {
+		t.Error("bad mode should error")
+	}
+	resetFlags()
+	if err := run("../../testdata/nonexistent.cpl"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunNullDeref(t *testing.T) {
+	resetFlags()
+	_ = flag.Set("nullderef", "true")
+	if err := run("../../testdata/driver.cpl"); err != nil {
+		t.Fatalf("-nullderef run: %v", err)
+	}
+}

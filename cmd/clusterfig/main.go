@@ -1,0 +1,43 @@
+// Command clusterfig regenerates the paper's Figure 1: the cluster-size
+// frequency distribution of Steensgaard partitions vs Andersen clusters
+// for one benchmark (the paper uses the Linux driver autofs).
+//
+// Usage:
+//
+//	clusterfig [-bench autofs] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bootstrap/internal/bench"
+	"bootstrap/internal/synth"
+)
+
+var (
+	name  = flag.String("bench", "autofs", "benchmark name (a Table 1 row)")
+	scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper-sized)")
+)
+
+func main() {
+	flag.Parse()
+	b, ok := synth.FindBenchmark(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clusterfig: unknown benchmark %q; rows:\n", *name)
+		for _, row := range synth.Table1 {
+			fmt.Fprintln(os.Stderr, " ", row.Name)
+		}
+		os.Exit(1)
+	}
+	sh, ah, err := bench.Figure1(b, bench.Options{Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterfig:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 1 — cluster size frequencies for %s (scale %.2f):\n\n", b.Name, *scale)
+	fmt.Print(bench.FormatHistogram(sh, ah))
+	fmt.Printf("\nmax Steensgaard partition: %d, max Andersen cluster: %d\n",
+		sh[len(sh)-1].Size, ah[len(ah)-1].Size)
+}

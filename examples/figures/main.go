@@ -1,0 +1,189 @@
+// Figures: reproduces the paper's illustrative examples (Figures 2–5),
+// printing exactly the objects the paper derives from each — the
+// Steensgaard-vs-Andersen points-to contrast, Algorithm 1's statement
+// slicing, maximally complete update sequences, and the worked summary
+// tuples.
+//
+//	go run ./examples/figures
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/fscs"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+)
+
+func main() {
+	figure2()
+	figure3()
+	figure4()
+	figure5()
+}
+
+func names(p *ir.Program, vs []ir.VarID, keep func(string) bool) string {
+	var out []string
+	for _, v := range vs {
+		if n := p.VarName(v); keep(n) {
+			out = append(out, n)
+		}
+	}
+	return "{" + strings.Join(out, ", ") + "}"
+}
+
+func isUser(n string) bool { return !strings.Contains(n, ".") && !strings.Contains(n, "@") }
+
+// figure2: p=&a; q=&b; r=&c; q=p; q=r — Steensgaard unifies, Andersen
+// keeps direction.
+func figure2() {
+	fmt.Println("== Figure 2: Steensgaard vs Andersen points-to ==")
+	prog, err := frontend.LowerSource(`
+		int a, b, c;
+		int *p, *q, *r;
+		void main() {
+			p = &a;
+			q = &b;
+			r = &c;
+			q = p;
+			q = r;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa := steens.Analyze(prog)
+	aa := andersen.Analyze(prog)
+	for _, name := range []string{"p", "q", "r"} {
+		v := prog.VarByName[name]
+		fmt.Printf("  %s: steensgaard pts %-12s andersen pts %s\n", name,
+			names(prog, sa.PointsToVars(v), isUser),
+			names(prog, aa.PointsTo(v), isUser))
+	}
+	fmt.Println("  (Andersen's q has out-degree 3 while p and r stay exact;")
+	fmt.Println("   Steensgaard's partitions are {p,q,r} and {a,b,c})")
+	fmt.Println()
+}
+
+// figure3: Algorithm 1 keeps 1a,2a,4a for P={a,b} and discards 3a: p=x.
+func figure3() {
+	fmt.Println("== Figure 3: Algorithm 1 relevant statements for P={a,b} ==")
+	prog, err := frontend.LowerSource(`
+		int a, b;
+		int *x, *y, *p;
+		void main() {
+			x = &a;
+			y = &b;
+			p = x;
+			*x = *y;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa := steens.Analyze(prog)
+	P := []ir.VarID{prog.VarByName["a"], prog.VarByName["b"]}
+	vars, stmts := cluster.RelevantStatements(prog, sa, P)
+	fmt.Printf("  V_P  = %s\n", names(prog, vars, isUser))
+	fmt.Println("  St_P =")
+	for _, loc := range stmts {
+		fmt.Printf("    L%-3d %s\n", loc, prog.StmtString(loc))
+	}
+	fmt.Println("  (note: 3a `p = x` is excluded — it cannot affect aliases of a or b)")
+	fmt.Println()
+}
+
+// figure4: [4a] is a complete update sequence from b to a; its maximal
+// completion is [1a, 4a], from c to a.
+func figure4() {
+	fmt.Println("== Figure 4: maximally complete update sequences ==")
+	prog, err := frontend.LowerSource(`
+		int *a, *b, *c;
+		int **x, **y;
+		void main() {
+			b = c;
+			x = &a;
+			y = &b;
+			*x = b;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa := steens.Analyze(prog)
+	cg := callgraph.Build(prog)
+	whole := cluster.BuildWhole(prog, sa)
+	eng := fscs.NewEngine(prog, cg, sa, whole)
+	exit := prog.Func(prog.Entry).Exit
+	fmt.Println("  summary sources for a at main's exit:")
+	for _, tup := range eng.SummaryAt(exit, prog.VarByName["a"]) {
+		fmt.Printf("    %s\n", tup.Format(prog))
+	}
+	fmt.Println("  (the sequence terminates at c — [4a] alone would stop at b,")
+	fmt.Println("   but 1a: b = c extends it to the maximal completion [1a,4a])")
+	fmt.Println()
+}
+
+// figure5: the worked summary example — foo's tuple (x, 3b, w, true),
+// main's spliced tuple (z, 6a, u, true), and bar requiring no P1 summary.
+func figure5() {
+	fmt.Println("== Figure 5: summary computation ==")
+	prog, err := frontend.LowerSource(`
+		int **x, **u, **w, **z;
+		int *d;
+		int *c;
+		int *a, *b;
+		void foo() {
+			*x = d;
+			a = b;
+			x = w;
+		}
+		void bar() {
+			*x = d;
+			a = b;
+		}
+		void main() {
+			x = &c;
+			w = u;
+			foo();
+			z = x;
+			*z = b;
+			bar();
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa := steens.Analyze(prog)
+	cg := callgraph.Build(prog)
+	whole := cluster.BuildWhole(prog, sa)
+	eng := fscs.NewEngine(prog, cg, sa, whole)
+
+	p1 := sa.PartitionOf(prog.VarByName["x"])
+	fmt.Printf("  P1 = %s\n", names(prog, p1, isUser))
+
+	foo, bar := prog.FuncByName["foo"], prog.FuncByName["bar"]
+	fmt.Println("  Summary(foo, x):")
+	for _, tup := range eng.Summary(foo, prog.VarByName["x"]) {
+		fmt.Printf("    %s   // the paper's (x, 3b, w, true)\n", tup.Format(prog))
+	}
+	modifies := false
+	for _, v := range p1 {
+		if eng.Modifies(bar, v) {
+			modifies = true
+		}
+	}
+	fmt.Printf("  bar modifies P1 pointers: %v  (so no P1 summaries for bar)\n", modifies)
+
+	exit := prog.Func(prog.Entry).Exit
+	fmt.Println("  SummaryAt(main exit, z):")
+	for _, tup := range eng.SummaryAt(exit, prog.VarByName["z"]) {
+		fmt.Printf("    %s   // the paper's (z, 6a, u, true): w=u, [x=w], z=x\n", tup.Format(prog))
+	}
+}

@@ -1,0 +1,100 @@
+// Racedetect: the paper's motivating application — static data-race
+// detection for driver-style code via lockset computation, using the
+// demand-driven mode that analyzes only clusters containing lock pointers.
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bootstrap/internal/core"
+	"bootstrap/internal/lockset"
+)
+
+// driver models a device driver with two concurrent entry points: the
+// device state is protected by dev_lock, the statistics counter is
+// protected in open but NOT in ioctl (a seeded bug), and the debug flag is
+// entirely unprotected.
+const driver = `
+	lock dev_lock;
+	lock stats_lock;
+	lock *lp;
+	lock *sp;
+
+	int dev_state;
+	int stats;
+	int debug_flag;
+
+	void acquire(lock *l) { }
+	void release(lock *l) { }
+
+	void update_stats() {
+		stats = stats + 1;
+	}
+
+	void thread_open() {
+		lp = &dev_lock;
+		sp = &stats_lock;
+		acquire(lp);
+		dev_state = 1;
+		release(lp);
+		acquire(sp);
+		update_stats();
+		release(sp);
+		debug_flag = 1;
+	}
+
+	void thread_ioctl() {
+		lp = &dev_lock;
+		acquire(lp);
+		dev_state = 2;
+		release(lp);
+		update_stats();      // BUG: stats_lock not held
+		debug_flag = 0;
+	}
+
+	void main() {
+		thread_open();
+		thread_ioctl();
+	}
+`
+
+func main() {
+	// Demand-driven bootstrap: only clusters containing lock pointers get
+	// the precise flow- and context-sensitive treatment ("since a lock
+	// pointer can alias only to another lock pointer, we need to consider
+	// clusters comprised solely of lock pointers").
+	analysis, err := core.AnalyzeSource(driver, core.Config{
+		Mode:   core.ModeAndersen,
+		Demand: lockset.LockDemand,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d of %d clusters (lock clusters only)\n",
+		len(analysis.Timing.PerCluster), len(analysis.Clusters))
+
+	det := lockset.NewDetector(analysis, lockset.Config{})
+	races, accesses := det.Detect()
+
+	fmt.Printf("threads: %d entry points, %d shared accesses\n\n",
+		len(det.Threads()), len(accesses))
+	if len(races) == 0 {
+		fmt.Println("no races found")
+		return
+	}
+	fmt.Printf("%d potential races:\n", len(races))
+	reported := map[string]bool{}
+	for _, r := range races {
+		v := analysis.Prog.VarName(r.Var)
+		if reported[v] {
+			continue // one report per variable for readability
+		}
+		reported[v] = true
+		fmt.Println("  " + r.Format(analysis.Prog))
+	}
+	fmt.Println("\nexpected: races on stats (ioctl skips stats_lock) and on")
+	fmt.Println("debug_flag (never protected); dev_state is race-free.")
+}

@@ -1,0 +1,3 @@
+module bootstrap
+
+go 1.22

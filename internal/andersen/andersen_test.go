@@ -1,0 +1,385 @@
+package andersen
+
+import (
+	"math/rand"
+	"testing"
+
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+	"bootstrap/internal/synth"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Analysis) {
+	t.Helper()
+	p, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p, Analyze(p)
+}
+
+func v(t *testing.T, p *ir.Program, name string) ir.VarID {
+	t.Helper()
+	id, ok := p.VarByName[name]
+	if !ok {
+		t.Fatalf("no variable %q", name)
+	}
+	return id
+}
+
+func ptsNames(p *ir.Program, a *Analysis, x ir.VarID) map[string]bool {
+	out := map[string]bool{}
+	for _, o := range a.PointsTo(x) {
+		out[p.VarName(o)] = true
+	}
+	return out
+}
+
+// TestFigure2Precision reproduces Figure 2's Andersen side: after p=&a;
+// q=&b; r=&c; q=p; q=r the out-degree-3 node is q -> {a,b,c}, while p and r
+// keep their singleton sets — more precise than Steensgaard.
+func TestFigure2Precision(t *testing.T) {
+	p, a := analyze(t, `
+		int a, b, c;
+		int *p, *q, *r;
+		void main() {
+			p = &a;
+			q = &b;
+			r = &c;
+			q = p;
+			q = r;
+		}
+	`)
+	q := ptsNames(p, a, v(t, p, "q"))
+	for _, want := range []string{"a", "b", "c"} {
+		if !q[want] {
+			t.Errorf("pts(q) missing %s: %v", want, q)
+		}
+	}
+	pp := ptsNames(p, a, v(t, p, "p"))
+	if len(pp) != 1 || !pp["a"] {
+		t.Errorf("pts(p) = %v, want exactly {a}", pp)
+	}
+	rr := ptsNames(p, a, v(t, p, "r"))
+	if len(rr) != 1 || !rr["c"] {
+		t.Errorf("pts(r) = %v, want exactly {c}", rr)
+	}
+	if !a.MayAlias(v(t, p, "q"), v(t, p, "p")) {
+		t.Error("q and p share a; MayAlias should hold")
+	}
+	if a.MayAlias(v(t, p, "p"), v(t, p, "r")) {
+		t.Error("p and r share nothing; MayAlias should not hold")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	p, a := analyze(t, `
+		int a, b;
+		int *x, *y, *l;
+		int **px;
+		void main() {
+			x = &a;
+			y = &b;
+			px = &x;
+			*px = y;
+			l = *px;
+		}
+	`)
+	l := ptsNames(p, a, v(t, p, "l"))
+	if !l["a"] || !l["b"] {
+		t.Errorf("pts(l) = %v, want a and b (flow-insensitive)", l)
+	}
+	x := ptsNames(p, a, v(t, p, "x"))
+	if !x["a"] || !x["b"] {
+		t.Errorf("pts(x) = %v, want a and b via *px = y", x)
+	}
+	y := ptsNames(p, a, v(t, p, "y"))
+	if len(y) != 1 || !y["b"] {
+		t.Errorf("pts(y) = %v, want exactly {b}: stores are directional", y)
+	}
+}
+
+func TestDirectionality(t *testing.T) {
+	// q = p must not pollute p (the key precision win over Steensgaard).
+	p, a := analyze(t, `
+		int a, b;
+		int *p, *q;
+		void main() {
+			p = &a;
+			q = &b;
+			q = p;
+		}
+	`)
+	pp := ptsNames(p, a, v(t, p, "p"))
+	if pp["b"] {
+		t.Errorf("pts(p) = %v must not contain b", pp)
+	}
+	sa := steens.Analyze(p)
+	// Steensgaard unifies: its pts(p) contains both — Andersen's is a
+	// strict subset here.
+	spts := map[string]bool{}
+	for _, o := range sa.PointsToVars(v(t, p, "p")) {
+		spts[p.VarName(o)] = true
+	}
+	if !spts["a"] || !spts["b"] {
+		t.Errorf("Steensgaard pts(p) = %v, want a and b", spts)
+	}
+}
+
+func TestInterprocedural(t *testing.T) {
+	p, a := analyze(t, `
+		int g1, g2;
+		int *id(int *v) { return v; }
+		void main() {
+			int *r1, *r2;
+			r1 = id(&g1);
+			r2 = id(&g2);
+		}
+	`)
+	r1 := ptsNames(p, a, v(t, p, "main.r1"))
+	// Context-insensitive: both calls conflate.
+	if !r1["g1"] || !r1["g2"] {
+		t.Errorf("pts(r1) = %v, want g1 and g2", r1)
+	}
+}
+
+func TestHeapObjects(t *testing.T) {
+	p, a := analyze(t, `
+		void main() {
+			int *x, *y;
+			x = malloc;
+			y = malloc;
+		}
+	`)
+	if a.MayAlias(v(t, p, "main.x"), v(t, p, "main.y")) {
+		t.Error("distinct allocation sites must not alias")
+	}
+	if len(a.PointsTo(v(t, p, "main.x"))) != 1 {
+		t.Error("x should point to exactly its own allocation site")
+	}
+}
+
+func TestIndirectCallOnTheFly(t *testing.T) {
+	p, a := analyze(t, `
+		void *fp;
+		int g;
+		int *f1(int *x) { return x; }
+		void noaddr(int *x) { }
+		void main() {
+			int *r;
+			fp = &f1;
+			r = (*fp)(&g);
+		}
+	`)
+	r := ptsNames(p, a, v(t, p, "main.r"))
+	if !r["g"] {
+		t.Errorf("pts(r) = %v, want g via indirect call", r)
+	}
+	fx := ptsNames(p, a, v(t, p, "f1.x"))
+	if !fx["g"] {
+		t.Errorf("pts(f1.x) = %v, want g", fx)
+	}
+	nx := ptsNames(p, a, v(t, p, "noaddr.x"))
+	if len(nx) != 0 {
+		t.Errorf("pts(noaddr.x) = %v, want empty (never called)", nx)
+	}
+	targets := a.Targets(v(t, p, "fp"))
+	if len(targets) != 1 || p.Func(targets[0]).Name != "f1" {
+		t.Errorf("Targets(fp) = %v, want [f1]", targets)
+	}
+}
+
+func TestClusters(t *testing.T) {
+	p, a := analyze(t, `
+		int a, b, c;
+		int *p, *q, *r;
+		void main() {
+			p = &a;
+			q = &b;
+			r = &c;
+			q = p;
+			q = r;
+		}
+	`)
+	clusters := a.Clusters()
+	// Cluster of a = {p, q}; of b = {q}; of c = {q, r}.
+	want := map[string][]string{
+		"a": {"p", "q"},
+		"b": {"q"},
+		"c": {"q", "r"},
+	}
+	for obj, wantPtrs := range want {
+		got := map[string]bool{}
+		for _, ptr := range clusters[v(t, p, obj)] {
+			got[p.VarName(ptr)] = true
+		}
+		for _, w := range wantPtrs {
+			if !got[w] {
+				t.Errorf("cluster(%s) = %v, missing %s", obj, got, w)
+			}
+		}
+		for g := range got {
+			found := false
+			for _, w := range wantPtrs {
+				if g == w {
+					found = true
+				}
+			}
+			if !found && (g == "p" || g == "q" || g == "r") {
+				t.Errorf("cluster(%s) contains unexpected %s", obj, g)
+			}
+		}
+	}
+	if a.MaxClusterSize() < 2 {
+		t.Errorf("MaxClusterSize = %d, want >= 2", a.MaxClusterSize())
+	}
+}
+
+// TestStmtFilter: restricting the analysis to a statement slice must drop
+// the effects of excluded statements (paper's Prog_Q construction).
+func TestStmtFilter(t *testing.T) {
+	p, err := frontend.LowerSource(`
+		int a, b;
+		int *x, *y;
+		void main() {
+			x = &a;
+			y = &b;
+			x = y;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the statement x = y.
+	var exclude ir.Loc = ir.NoLoc
+	for _, n := range p.Nodes {
+		if n.Stmt.Op == ir.OpCopy && p.VarName(n.Stmt.Dst) == "x" && p.VarName(n.Stmt.Src) == "y" {
+			exclude = n.Loc
+		}
+	}
+	if exclude == ir.NoLoc {
+		t.Fatal("did not find x = y")
+	}
+	a := Analyze(p, WithStmtFilter(func(l ir.Loc) bool { return l != exclude }))
+	x := ptsNames(p, a, v(t, p, "x"))
+	if x["b"] {
+		t.Errorf("filtered analysis: pts(x) = %v must not contain b", x)
+	}
+	full := Analyze(p)
+	if !ptsNames(p, full, v(t, p, "x"))["b"] {
+		t.Error("unfiltered analysis should see x = y")
+	}
+}
+
+// TestRefinesSteensgaard: every Andersen points-to fact stays within the
+// Steensgaard partitioning (the cascade invariant the bootstrapping
+// framework relies on).
+func TestRefinesSteensgaard(t *testing.T) {
+	srcs := []string{
+		`int a, b; int *x, *y; int **px;
+		 void main() { x = &a; y = &b; px = &x; *px = y; y = *px; }`,
+		`int g1, g2; int *id(int *v) { return v; }
+		 void main() { int *r; r = id(&g1); r = id(&g2); }`,
+		`int *p; int a; void main() { p = &a; *p = p; }`,
+	}
+	for _, src := range srcs {
+		p, err := frontend.LowerSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aa := Analyze(p)
+		sa := steens.Analyze(p)
+		for vid := 0; vid < p.NumVars(); vid++ {
+			for _, o := range aa.PointsTo(ir.VarID(vid)) {
+				// Steensgaard's points-to set of vid must include o.
+				found := false
+				for _, so := range sa.PointsToVars(ir.VarID(vid)) {
+					if so == o {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("src %q: Andersen says %s -> %s but Steensgaard's set lacks it",
+						src, p.VarName(ir.VarID(vid)), p.VarName(o))
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p, a := analyze(t, `void main() { }`)
+	if got := a.MaxClusterSize(); got != 0 {
+		t.Errorf("MaxClusterSize = %d, want 0", got)
+	}
+	if len(a.Clusters()) != 0 {
+		t.Error("empty program should have no clusters")
+	}
+	_ = p
+}
+
+// TestCycleEliminationEquivalence: collapsing copy cycles must not change
+// any points-to set — on a hand-built cycle and on random programs.
+func TestCycleEliminationEquivalence(t *testing.T) {
+	srcs := []string{
+		// A long copy cycle through which an address flows.
+		`int o1, o2;
+		 int *p0, *p1, *p2, *p3, *p4;
+		 void main() {
+			p0 = &o1;
+			p1 = p0; p2 = p1; p3 = p2; p4 = p3; p0 = p4;
+			while (*) { p2 = p4; p4 = &o2; }
+		 }`,
+		// Cycle via load/store complex constraints.
+		`int a; int *x, *y; int **px, **py;
+		 void main() {
+			x = &a;
+			px = &x; py = &y;
+			*py = *px;
+			*px = *py;
+		 }`,
+	}
+	for _, src := range srcs {
+		p, err := frontend.LowerSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Analyze(p)
+		elim := Analyze(p, withCycleInterval(1))
+		for v := 0; v < p.NumVars(); v++ {
+			if !base.PointsToSet(ir.VarID(v)).Equal(elim.PointsToSet(ir.VarID(v))) {
+				t.Errorf("src %q: pts(%s) differs: base %v, cycle-elim %v",
+					src, p.VarName(ir.VarID(v)),
+					base.PointsTo(ir.VarID(v)), elim.PointsTo(ir.VarID(v)))
+			}
+		}
+	}
+}
+
+// TestCycleEliminationRandom cross-checks on random programs.
+func TestCycleEliminationRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	cfg := synth.DefaultRandomConfig()
+	cfg.Funcs = 3
+	cfg.Recursion = true
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := synth.RandomSource(rng, cfg)
+		p, err := frontend.LowerSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Analyze(p)
+		elim := Analyze(p, withCycleInterval(1))
+		for v := 0; v < p.NumVars(); v++ {
+			if !base.PointsToSet(ir.VarID(v)).Equal(elim.PointsToSet(ir.VarID(v))) {
+				t.Fatalf("seed %d: pts(%s) differs: base %v, cycle-elim %v\nprogram:\n%s",
+					seed, p.VarName(ir.VarID(v)),
+					base.PointsTo(ir.VarID(v)), elim.PointsTo(ir.VarID(v)), src)
+			}
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package bench regenerates the paper's evaluation artifacts: Table 1
+// (flow- and context-sensitive alias analysis without clustering, with
+// Steensgaard clustering, and with Andersen clustering, including the
+// simulated 5-machine parallelization) and Figure 1 (cluster-size
+// frequencies, Steensgaard vs Andersen), over the synthetic workloads of
+// package synth. It also provides the Andersen-threshold sweep ablation
+// discussed in Section 2.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/fscs"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+	"bootstrap/internal/synth"
+)
+
+// Options tune a harness run.
+type Options struct {
+	// Scale shrinks the paper-sized workloads (1.0 = full size).
+	Scale float64
+	// Parts is the simulated machine count (paper: 5).
+	Parts int
+	// Budget caps worklist tuples for the *unclustered* run — the
+	// analogue of the paper's 15-minute timeout. Zero means 3e6.
+	Budget int64
+	// SkipNoClustering skips the expensive monolithic baseline.
+	SkipNoClustering bool
+	// Threshold overrides the Andersen threshold (0 = paper default 60,
+	// scaled).
+	Threshold int
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Parts <= 0 {
+		o.Parts = 5
+	}
+	if o.Budget <= 0 {
+		o.Budget = 3_000_000
+	}
+}
+
+func (o *Options) threshold() int {
+	if o.Threshold > 0 {
+		return o.Threshold
+	}
+	t := int(float64(cluster.DefaultAndersenThreshold) * o.Scale)
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// Row is one measured Table 1 row.
+type Row struct {
+	Bench    synth.Benchmark
+	Pointers int // measured abstract-object count
+
+	SteensTime  time.Duration // partitioning (column 4)
+	ClusterTime time.Duration // Andersen clustering (column 5)
+
+	NoClusterTime     time.Duration // column 6
+	NoClusterTimedOut bool
+
+	SteensNum  int           // column 7 (#cluster)
+	SteensMax  int           // column 8 (Max)
+	SteensFSCS time.Duration // column 9 (simulated 5-part time)
+
+	AndersenNum  int           // column 10
+	AndersenMax  int           // column 11
+	AndersenFSCS time.Duration // column 12
+}
+
+// runCover runs the per-cluster FSCS engines sequentially, returning the
+// per-cluster times (for the machine simulation) and whether any engine
+// exhausted its budget.
+func runCover(prog *ir.Program, cg *callgraph.Graph, sa *steens.Analysis,
+	cs []*cluster.Cluster, budget int64) ([]time.Duration, bool) {
+	times := make([]time.Duration, len(cs))
+	timedOut := false
+	for i, c := range cs {
+		t := time.Now()
+		eng := fscs.NewEngine(prog, cg, sa, c, fscs.WithBudget(budget))
+		if err := eng.Run(); err != nil {
+			timedOut = true
+		}
+		times[i] = time.Since(t)
+	}
+	return times, timedOut
+}
+
+func sum(ds []time.Duration) time.Duration {
+	var t time.Duration
+	for _, d := range ds {
+		t += d
+	}
+	return t
+}
+
+// RunRow generates b's synthetic workload and measures one Table 1 row.
+func RunRow(b synth.Benchmark, opt Options) (Row, error) {
+	opt.fill()
+	src := synth.Generate(b, opt.Scale)
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		return Row{}, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	row := Row{Bench: b, Pointers: prog.NumVars()}
+
+	t0 := time.Now()
+	sa := steens.Analyze(prog)
+	row.SteensTime = time.Since(t0)
+	cg := callgraph.Build(prog)
+
+	// Column 6: FSCS without clustering (budgeted, like the 15-min cap).
+	if !opt.SkipNoClustering {
+		whole := []*cluster.Cluster{cluster.BuildWhole(prog, sa)}
+		times, timedOut := runCover(prog, cg, sa, whole, opt.Budget)
+		row.NoClusterTime = sum(times)
+		row.NoClusterTimedOut = timedOut
+	}
+
+	// Columns 7-9: Steensgaard clustering.
+	steensCover := cluster.BuildSteensgaard(prog, sa)
+	ss := cluster.CoverStats(steensCover)
+	row.SteensNum, row.SteensMax = ss.NumClusters, ss.MaxSize
+	stimes, _ := runCover(prog, cg, sa, steensCover, 0)
+	row.SteensFSCS = core.SimulateParallel(steensCover, stimes, opt.Parts)
+
+	// Columns 5, 10-12: Andersen clustering.
+	t1 := time.Now()
+	andersenCover := cluster.BuildAndersen(prog, sa, opt.threshold())
+	row.ClusterTime = time.Since(t1)
+	as := cluster.CoverStats(andersenCover)
+	row.AndersenNum, row.AndersenMax = as.NumClusters, as.MaxSize
+	atimes, _ := runCover(prog, cg, sa, andersenCover, 0)
+	row.AndersenFSCS = core.SimulateParallel(andersenCover, atimes, opt.Parts)
+
+	return row, nil
+}
+
+// RunTable measures every given row, streaming progress to w (nil for
+// silent).
+func RunTable(benches []synth.Benchmark, opt Options, w io.Writer) ([]Row, error) {
+	var rows []Row
+	for _, b := range benches {
+		if w != nil {
+			fmt.Fprintf(w, "running %-16s ...", b.Name)
+		}
+		row, err := RunRow(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			fmt.Fprintf(w, " done (%d pointers, %d+%d clusters)\n",
+				row.Pointers, row.SteensNum, row.AndersenNum)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func fmtDur(d time.Duration, timedOut bool) string {
+	if timedOut {
+		return "> budget"
+	}
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%dµs", d.Microseconds())
+}
+
+// FormatTable renders measured rows in the layout of the paper's Table 1.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %6s %9s | %9s %9s | %10s | %8s %5s %9s | %8s %5s %9s\n",
+		"Example", "KLOC", "#pointers", "Steens", "AndClust", "NoCluster",
+		"#cluster", "Max", "Time", "#cluster", "Max", "Time")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 132))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %6.1f %9d | %9s %9s | %10s | %8d %5d %9s | %8d %5d %9s\n",
+			r.Bench.Name, r.Bench.KLOC, r.Pointers,
+			fmtDur(r.SteensTime, false), fmtDur(r.ClusterTime, false),
+			fmtDur(r.NoClusterTime, r.NoClusterTimedOut),
+			r.SteensNum, r.SteensMax, fmtDur(r.SteensFSCS, false),
+			r.AndersenNum, r.AndersenMax, fmtDur(r.AndersenFSCS, false))
+	}
+	return b.String()
+}
+
+// FormatComparison renders paper-reported vs measured shape metrics, the
+// content of EXPERIMENTS.md.
+func FormatComparison(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s | %22s | %22s | %26s\n",
+		"Example", "max part (paper/ours)", "max clus (paper/ours)", "no-clustering (paper/ours)")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 96))
+	for _, r := range rows {
+		ours := fmtDur(r.NoClusterTime, r.NoClusterTimedOut)
+		fmt.Fprintf(&b, "%-16s | %10d / %-9d | %10d / %-9d | %12s / %-11s\n",
+			r.Bench.Name,
+			r.Bench.SteensMax, r.SteensMax,
+			r.Bench.AndersenMax, r.AndersenMax,
+			r.Bench.PaperNoClusterTime, ours)
+	}
+	return b.String()
+}
+
+// HistPoint is one cluster-size frequency.
+type HistPoint struct {
+	Size  int
+	Count int
+}
+
+// Figure1 computes the cluster-size frequency series (Steensgaard vs
+// Andersen) for one benchmark — the data behind the paper's Figure 1.
+func Figure1(b synth.Benchmark, opt Options) (steensHist, andersenHist []HistPoint, err error) {
+	opt.fill()
+	src := synth.Generate(b, opt.Scale)
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	sa := steens.Analyze(prog)
+	toPoints := func(h map[int]int) []HistPoint {
+		var out []HistPoint
+		for size, count := range h {
+			out = append(out, HistPoint{Size: size, Count: count})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Size < out[j].Size })
+		return out
+	}
+	steensHist = toPoints(cluster.SizeHistogram(cluster.BuildSteensgaard(prog, sa)))
+	andersenHist = toPoints(cluster.SizeHistogram(cluster.BuildAndersen(prog, sa, opt.threshold())))
+	return steensHist, andersenHist, nil
+}
+
+// FormatHistogram renders the two series side by side, with a crude
+// log-scale bar per count — a terminal rendition of Figure 1.
+func FormatHistogram(steensHist, andersenHist []HistPoint) string {
+	counts := map[int][2]int{}
+	maxSize := 0
+	for _, p := range steensHist {
+		c := counts[p.Size]
+		c[0] = p.Count
+		counts[p.Size] = c
+		if p.Size > maxSize {
+			maxSize = p.Size
+		}
+	}
+	for _, p := range andersenHist {
+		c := counts[p.Size]
+		c[1] = p.Count
+		counts[p.Size] = c
+		if p.Size > maxSize {
+			maxSize = p.Size
+		}
+	}
+	sizes := make([]int, 0, len(counts))
+	for s := range counts {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %10s %10s   (s = Steensgaard, a = Andersen)\n", "size", "#steens", "#andersen")
+	for _, s := range sizes {
+		c := counts[s]
+		fmt.Fprintf(&b, "%6d %10d %10d   %s%s\n", s, c[0], c[1],
+			strings.Repeat("s", intLog(c[0])), strings.Repeat("a", intLog(c[1])))
+	}
+	return b.String()
+}
+
+func intLog(n int) int {
+	l := 0
+	for n > 0 {
+		l++
+		n /= 4
+	}
+	return l
+}
+
+// ThresholdPoint is one ablation measurement.
+type ThresholdPoint struct {
+	Threshold   int
+	NumClusters int
+	MaxSize     int
+	ClusterTime time.Duration
+	FSCSSimTime time.Duration
+}
+
+// ThresholdSweep measures the Andersen-threshold ablation: clustering cost
+// and simulated FSCS time as the threshold varies (the paper fixes 60
+// empirically; this sweep regenerates the evidence).
+func ThresholdSweep(b synth.Benchmark, thresholds []int, opt Options) ([]ThresholdPoint, error) {
+	opt.fill()
+	src := synth.Generate(b, opt.Scale)
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		return nil, err
+	}
+	sa := steens.Analyze(prog)
+	cg := callgraph.Build(prog)
+	var out []ThresholdPoint
+	for _, th := range thresholds {
+		t0 := time.Now()
+		cover := cluster.BuildAndersen(prog, sa, th)
+		ct := time.Since(t0)
+		stats := cluster.CoverStats(cover)
+		times, _ := runCover(prog, cg, sa, cover, 0)
+		out = append(out, ThresholdPoint{
+			Threshold:   th,
+			NumClusters: stats.NumClusters,
+			MaxSize:     stats.MaxSize,
+			ClusterTime: ct,
+			FSCSSimTime: core.SimulateParallel(cover, times, opt.Parts),
+		})
+	}
+	return out, nil
+}
+
+// FormatSweep renders a threshold sweep.
+func FormatSweep(points []ThresholdPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%9s %9s %6s %12s %12s\n", "threshold", "#clusters", "max", "clusterTime", "fscsSimTime")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%9d %9d %6d %12s %12s\n",
+			p.Threshold, p.NumClusters, p.MaxSize,
+			fmtDur(p.ClusterTime, false), fmtDur(p.FSCSSimTime, false))
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+// Package bitset provides a dense, growable bit set over small non-negative
+// integers. It is the points-to-set representation used by the Andersen
+// inclusion-based solver, where set union and difference dominate running
+// time.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a growable bit set. The zero value is an empty set ready to use.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity hint n bits.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, 0, (n+wordBits-1)/wordBits)}
+}
+
+// ensure grows the word slice to hold bit i.
+func (s *Set) ensure(i int) {
+	w := i/wordBits + 1
+	for len(s.words) < w {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts i and reports whether it was newly added.
+func (s *Set) Add(i int) bool {
+	if i < 0 {
+		panic("bitset: negative element")
+	}
+	s.ensure(i)
+	w, m := i/wordBits, uint64(1)<<(i%wordBits)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	return true
+}
+
+// Remove deletes i and reports whether it was present.
+func (s *Set) Remove(i int) bool {
+	w := i / wordBits
+	if i < 0 || w >= len(s.words) {
+		return false
+	}
+	m := uint64(1) << (i % wordBits)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	return true
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	w := i / wordBits
+	return i >= 0 && w < len(s.words) && s.words[w]&(1<<(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	if len(s.words) < len(t.words) {
+		s.ensure(len(t.words)*wordBits - 1)
+	}
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DiffFrom returns the elements of t not in s (t \ s) as a fresh set.
+// It is used by the Andersen solver to propagate only the delta.
+func (s *Set) DiffFrom(t *Set) *Set {
+	d := &Set{}
+	if t == nil {
+		return d
+	}
+	d.words = make([]uint64, len(t.words))
+	for i, w := range t.words {
+		if i < len(s.words) {
+			w &^= s.words[i]
+		}
+		d.words[i] = w
+	}
+	return d
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	a, b := s.words, t.words
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	for _, w := range b[len(a):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn on every element in increasing order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << b
+		}
+	}
+}
+
+// Elems returns the elements in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// Intersects reports whether s and t share any element.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

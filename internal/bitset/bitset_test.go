@@ -1,0 +1,212 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(0)
+	if !s.Add(5) || !s.Add(100) || !s.Add(0) {
+		t.Fatal("Add of fresh elements should return true")
+	}
+	if s.Add(5) {
+		t.Error("Add of duplicate should return false")
+	}
+	for _, want := range []int{0, 5, 100} {
+		if !s.Has(want) {
+			t.Errorf("Has(%d) = false", want)
+		}
+	}
+	if s.Has(6) || s.Has(1000) {
+		t.Error("Has reported an absent element")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if !s.Remove(5) {
+		t.Error("Remove(5) should return true")
+	}
+	if s.Remove(5) || s.Remove(999) {
+		t.Error("Remove of absent element should return false")
+	}
+	if s.Has(5) {
+		t.Error("5 still present after Remove")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 || s.Has(3) {
+		t.Fatal("zero value should be an empty set")
+	}
+	s.Add(63)
+	s.Add(64)
+	if got := s.Elems(); len(got) != 2 || got[0] != 63 || got[1] != 64 {
+		t.Fatalf("Elems = %v, want [63 64]", got)
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(1)
+	a.Add(70)
+	b.Add(2)
+	b.Add(70)
+	if !a.UnionWith(b) {
+		t.Error("union adding a new element should report change")
+	}
+	if a.UnionWith(b) {
+		t.Error("repeated union should report no change")
+	}
+	if got := a.Elems(); !equalInts(got, []int{1, 2, 70}) {
+		t.Errorf("Elems = %v, want [1 2 70]", got)
+	}
+	if a.UnionWith(nil) {
+		t.Error("union with nil should report no change")
+	}
+}
+
+func TestDiffFrom(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	b.Add(130)
+	d := a.DiffFrom(b)
+	if got := d.Elems(); !equalInts(got, []int{3, 130}) {
+		t.Errorf("DiffFrom = %v, want [3 130]", got)
+	}
+	if got := a.DiffFrom(nil).Elems(); len(got) != 0 {
+		t.Errorf("DiffFrom(nil) = %v, want empty", got)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(0)
+	a.Add(7)
+	a.Add(200)
+	c := a.Clone()
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Error("clone should equal original")
+	}
+	c.Add(1)
+	if a.Equal(c) {
+		t.Error("sets differ but Equal says true")
+	}
+	// Trailing-zero words should not affect equality.
+	d := New(0)
+	d.Add(7)
+	d.Add(200)
+	d.Add(500)
+	d.Remove(500)
+	if !a.Equal(d) {
+		t.Error("trailing zero words should be ignored by Equal")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(64)
+	b.Add(65)
+	if a.Intersects(b) {
+		t.Error("disjoint sets should not intersect")
+	}
+	b.Add(64)
+	if !a.Intersects(b) {
+		t.Error("sets sharing 64 should intersect")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		s.Add(i * 7)
+	}
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if !equalInts(seen, []int{0, 7, 14}) {
+		t.Errorf("early stop visited %v, want [0 7 14]", seen)
+	}
+}
+
+func TestNegativeElement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) should panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+// TestAgainstMapOracle drives the set with random operations and compares
+// with a map-based oracle.
+func TestAgainstMapOracle(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(0)
+		oracle := map[int]bool{}
+		for k := 0; k < 300; k++ {
+			x := rng.Intn(256)
+			switch rng.Intn(3) {
+			case 0:
+				if s.Add(x) == oracle[x] {
+					return false
+				}
+				oracle[x] = true
+			case 1:
+				if s.Remove(x) != oracle[x] {
+					return false
+				}
+				delete(oracle, x)
+			case 2:
+				if s.Has(x) != oracle[x] {
+					return false
+				}
+			}
+		}
+		var want []int
+		for x := range oracle {
+			want = append(want, x)
+		}
+		sort.Ints(want)
+		return equalInts(s.Elems(), want) && s.Len() == len(want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.UnionWith(y)
+	}
+}

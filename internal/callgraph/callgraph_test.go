@@ -1,0 +1,156 @@
+package callgraph
+
+import (
+	"testing"
+
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+)
+
+func build(t *testing.T, src string) (*ir.Program, *Graph) {
+	t.Helper()
+	p, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p, Build(p)
+}
+
+func fid(t *testing.T, p *ir.Program, name string) ir.FuncID {
+	t.Helper()
+	f, ok := p.FuncByName[name]
+	if !ok {
+		t.Fatalf("no function %q", name)
+	}
+	return f
+}
+
+func TestSimpleChain(t *testing.T) {
+	p, g := build(t, `
+		void c() { }
+		void b() { c(); }
+		void a() { b(); }
+		void main() { a(); }
+	`)
+	a, b, c, m := fid(t, p, "a"), fid(t, p, "b"), fid(t, p, "c"), fid(t, p, "main")
+	if got := g.Callees(m); len(got) != 1 || got[0] != a {
+		t.Errorf("Callees(main) = %v, want [a]", got)
+	}
+	if got := g.Callers(c); len(got) != 1 || got[0] != b {
+		t.Errorf("Callers(c) = %v, want [b]", got)
+	}
+	// Reverse topological order: c before b before a before main.
+	pos := map[ir.FuncID]int{}
+	for i, scc := range g.SCCs() {
+		for _, f := range scc {
+			pos[f] = i
+		}
+	}
+	if !(pos[c] < pos[b] && pos[b] < pos[a] && pos[a] < pos[m]) {
+		t.Errorf("SCC order wrong: c=%d b=%d a=%d main=%d", pos[c], pos[b], pos[a], pos[m])
+	}
+	for _, f := range []ir.FuncID{a, b, c, m} {
+		if g.Recursive(f) {
+			t.Errorf("%s misreported as recursive", p.Func(f).Name)
+		}
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	p, g := build(t, `
+		void r() { if (*) { r(); } }
+		void main() { r(); }
+	`)
+	r := fid(t, p, "r")
+	if !g.Recursive(r) {
+		t.Error("self-recursive function not detected")
+	}
+	if len(g.SCCs()[g.SCCOf(r)]) != 1 {
+		t.Error("self-recursion should be a singleton SCC")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	p, g := build(t, `
+		void odd(int *x) { if (*) { even(x); } }
+		void even(int *x) { if (*) { odd(x); } }
+		void main() { even(null); }
+	`)
+	odd, even, m := fid(t, p, "odd"), fid(t, p, "even"), fid(t, p, "main")
+	if !g.InSameSCC(odd, even) {
+		t.Error("odd and even should share an SCC")
+	}
+	if g.InSameSCC(odd, m) {
+		t.Error("main should not be in the recursive SCC")
+	}
+	if !g.Recursive(odd) || !g.Recursive(even) {
+		t.Error("mutually recursive functions not detected")
+	}
+	if g.SCCOf(odd) >= g.SCCOf(m) {
+		t.Error("the recursive SCC must precede main in reverse topological order")
+	}
+}
+
+func TestCallSites(t *testing.T) {
+	p, g := build(t, `
+		void h(int *x) { }
+		void f() { h(null); h(null); }
+		void k() { h(null); }
+		void main() { f(); k(); }
+	`)
+	h, f, k := fid(t, p, "h"), fid(t, p, "f"), fid(t, p, "k")
+	if got := len(g.CallSitesOf(h)); got != 3 {
+		t.Errorf("CallSitesOf(h) = %d sites, want 3", got)
+	}
+	if got := len(g.CallSitesIn(f, h)); got != 2 {
+		t.Errorf("CallSitesIn(f,h) = %d, want 2", got)
+	}
+	if got := len(g.CallSitesIn(k, h)); got != 1 {
+		t.Errorf("CallSitesIn(k,h) = %d, want 1", got)
+	}
+	for _, loc := range g.CallSitesOf(h) {
+		if p.Node(loc).Stmt.Op != ir.OpCall {
+			t.Errorf("call site L%d is not a call node", loc)
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	p, g := build(t, `
+		void used() { }
+		void dead() { deadCallee(); }
+		void deadCallee() { }
+		void main() { used(); }
+	`)
+	reach := g.Reachable(p.Entry)
+	names := map[string]bool{}
+	for _, f := range reach {
+		names[p.Func(f).Name] = true
+	}
+	if !names["main"] || !names["used"] {
+		t.Errorf("Reachable = %v, want main and used", names)
+	}
+	if names["dead"] || names["deadCallee"] {
+		t.Errorf("Reachable = %v, must not include dead code", names)
+	}
+}
+
+func TestSCCsCoverAllFunctions(t *testing.T) {
+	p, g := build(t, `
+		void a() { b(); }
+		void b() { if (*) { a(); } c(); }
+		void c() { }
+		void lonely() { }
+		void main() { a(); }
+	`)
+	count := 0
+	for _, scc := range g.SCCs() {
+		count += len(scc)
+	}
+	if count != len(p.Funcs) {
+		t.Errorf("SCCs cover %d functions, want %d", count, len(p.Funcs))
+	}
+	if !g.InSameSCC(fid(t, p, "a"), fid(t, p, "b")) {
+		t.Error("a and b are mutually recursive")
+	}
+}

@@ -1,0 +1,490 @@
+// Package cluster implements the divide-and-conquer layer of the paper's
+// bootstrapping framework: partitioning the program's pointers into small
+// clusters that form an alias cover, and slicing the program down to the
+// statements relevant to each cluster.
+//
+// Three cover constructions are provided:
+//
+//   - Steensgaard clusters — one per Steensgaard partition; a *disjoint*
+//     alias cover (a pointer aliases only within its partition).
+//   - Andersen clusters — for partitions larger than a threshold, the
+//     inverse Andersen points-to sets restricted to the partition; a
+//     *disjunctive* alias cover (Theorem 7): a pointer may appear in
+//     several clusters and its aliases are the union over them.
+//   - Syntactic clusters — the Zhang/Ryder/Landi (FSE 1996) baseline the
+//     paper compares against: connected components of the "appears in the
+//     same assignment" relation, ignoring points-to structure.
+//
+// For every cluster, RelevantStatements implements the paper's
+// Algorithm 1: the fixpoint computing the pointers V_P and statements St_P
+// that can affect aliases of the cluster's members (Theorem 6 justifies
+// restricting the precise analysis to St_P).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+)
+
+// Kind identifies how a cluster was constructed.
+type Kind uint8
+
+// Cluster kinds.
+const (
+	KindWhole Kind = iota // the entire program as one cluster (baseline)
+	KindSteensgaard
+	KindAndersen
+	KindSyntactic
+	KindOneFlow // a One-Level-Flow refinement piece (cascade extension)
+)
+
+var kindNames = [...]string{"whole", "steensgaard", "andersen", "syntactic", "oneflow"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Cluster is one independent unit of precise analysis: a pointer set P,
+// the relevant pointers V_P, and the relevant statement slice St_P.
+type Cluster struct {
+	ID       int
+	Kind     Kind
+	Pointers []ir.VarID  // P, sorted
+	Vars     []ir.VarID  // V_P from Algorithm 1, sorted
+	Stmts    []ir.Loc    // St_P, sorted
+	Funcs    []ir.FuncID // functions containing St_P statements, sorted
+
+	varSet  map[ir.VarID]bool
+	stmtSet map[ir.Loc]bool
+}
+
+// Size returns |P|, the paper's cluster-size metric.
+func (c *Cluster) Size() int { return len(c.Pointers) }
+
+// HasVar reports whether v ∈ V_P.
+func (c *Cluster) HasVar(v ir.VarID) bool { return c.varSet[v] }
+
+// HasStmt reports whether loc ∈ St_P.
+func (c *Cluster) HasStmt(loc ir.Loc) bool { return c.stmtSet[loc] }
+
+// HasPointer reports whether v ∈ P.
+func (c *Cluster) HasPointer(v ir.VarID) bool {
+	i := sort.Search(len(c.Pointers), func(i int) bool { return c.Pointers[i] >= v })
+	return i < len(c.Pointers) && c.Pointers[i] == v
+}
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster#%d(%s, |P|=%d, |V|=%d, |St|=%d, funcs=%d)",
+		c.ID, c.Kind, len(c.Pointers), len(c.Vars), len(c.Stmts), len(c.Funcs))
+}
+
+// Index holds the per-program statement indexes Algorithm 1 consults:
+// direct-destination statements by destination, and stores by the content
+// class of the pointer stored through (so store activation is O(1) when a
+// location class joins V_P). Build it once and share it across every
+// cluster of a program.
+type Index struct {
+	prog          *ir.Program
+	sa            *steens.Analysis
+	byDst         map[ir.VarID][]ir.Loc
+	storesByClass map[int][]storeStmt
+	assumesByFn   map[ir.FuncID][]ir.Loc
+}
+
+type storeStmt struct {
+	loc  ir.Loc
+	q, r ir.VarID
+}
+
+// NewIndex builds the Algorithm 1 statement indexes for a program.
+func NewIndex(p *ir.Program, sa *steens.Analysis) *Index {
+	ix := &Index{
+		prog:          p,
+		sa:            sa,
+		byDst:         map[ir.VarID][]ir.Loc{},
+		storesByClass: map[int][]storeStmt{},
+		assumesByFn:   map[ir.FuncID][]ir.Loc{},
+	}
+	for _, n := range p.Nodes {
+		switch n.Stmt.Op {
+		case ir.OpCopy, ir.OpAddr, ir.OpLoad, ir.OpNullify:
+			ix.byDst[n.Stmt.Dst] = append(ix.byDst[n.Stmt.Dst], n.Loc)
+		case ir.OpStore:
+			cls := sa.ContentClass(n.Stmt.Dst)
+			ix.storesByClass[cls] = append(ix.storesByClass[cls], storeStmt{loc: n.Loc, q: n.Stmt.Dst, r: n.Stmt.Src})
+		case ir.OpAssumeEq, ir.OpAssumeNeq:
+			ix.assumesByFn[n.Fn] = append(ix.assumesByFn[n.Fn], n.Loc)
+		}
+	}
+	return ix
+}
+
+// RelevantStatements implements the paper's Algorithm 1. Given a pointer
+// set P it computes V_P — every variable whose value may flow into the
+// aliases of a member of P — and St_P, the statements that may modify a
+// member of V_P.
+//
+// The fixpoint rules, per canonical statement form:
+//
+//   - d = s, d = *s with d ∈ V_P pull in s (and, for loads, the objects s
+//     may reference, whose stored values are being read);
+//   - a store *q = r is relevant as soon as q may point at a V_P member;
+//     then q and r join V_P. This activation condition is the read-driven
+//     equivalent of the paper's "q > p or the cyclic case": multi-level
+//     stores are reached transitively as intermediate objects join V_P.
+//
+// St_P contains every Copy/Addr/Load/Nullify whose destination is in V_P
+// and every activated store.
+func RelevantStatements(p *ir.Program, sa *steens.Analysis, P []ir.VarID) ([]ir.VarID, []ir.Loc) {
+	return NewIndex(p, sa).RelevantStatements(P)
+}
+
+// RelevantStatements is Algorithm 1 over a prebuilt index.
+func (ix *Index) RelevantStatements(P []ir.VarID) ([]ir.VarID, []ir.Loc) {
+	p, sa := ix.prog, ix.sa
+	byDst, storesByClass := ix.byDst, ix.storesByClass
+	inV := make(map[ir.VarID]bool, len(P)*2)
+	var work, added []ir.VarID
+
+	add := func(v ir.VarID) {
+		if v != ir.NoVar && !inV[v] {
+			inV[v] = true
+			work = append(work, v)
+			added = append(added, v)
+		}
+	}
+	for _, v := range P {
+		add(v)
+	}
+
+	activatedClasses := map[int]bool{}
+	stmtSet := map[ir.Loc]bool{}
+
+	fixpoint := func() {
+		for len(work) > 0 {
+			v := work[len(work)-1]
+			work = work[:len(work)-1]
+
+			for _, loc := range byDst[v] {
+				stmtSet[loc] = true
+				st := p.Node(loc).Stmt
+				switch st.Op {
+				case ir.OpCopy:
+					add(st.Src)
+				case ir.OpLoad:
+					add(st.Src)
+					for _, o := range sa.PointsToVars(st.Src) {
+						add(o)
+					}
+				case ir.OpAddr, ir.OpNullify:
+					// No value sources to chase.
+				}
+			}
+			// Stores through pointers whose content class is v's location
+			// class may overwrite v.
+			lc := sa.LocClass(v)
+			if !activatedClasses[lc] {
+				activatedClasses[lc] = true
+				for _, s := range storesByClass[lc] {
+					stmtSet[s.loc] = true
+					add(s.q)
+					add(s.r)
+				}
+			}
+		}
+	}
+	fixpoint()
+	// Path sensitivity (Section 3): an assume node in a function the
+	// slice touches contributes points-to constraints whose guard
+	// pointers the per-cluster engine must be able to resolve — pull them
+	// (and, transitively, their value sources) into V_P.
+	if len(ix.assumesByFn) > 0 {
+		doneFn := map[ir.FuncID]bool{}
+		for changed := true; changed; {
+			changed = false
+			fns := map[ir.FuncID]bool{}
+			for loc := range stmtSet {
+				fns[p.Node(loc).Fn] = true
+			}
+			for fn := range fns {
+				if doneFn[fn] {
+					continue
+				}
+				doneFn[fn] = true
+				for _, loc := range ix.assumesByFn[fn] {
+					st := p.Node(loc).Stmt
+					stmtSet[loc] = true
+					add(st.Dst)
+					add(st.Src)
+					changed = true
+				}
+			}
+			fixpoint()
+		}
+	}
+
+	vars := added
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	stmts := make([]ir.Loc, 0, len(stmtSet))
+	for loc := range stmtSet {
+		stmts = append(stmts, loc)
+	}
+	sort.Slice(stmts, func(i, j int) bool { return stmts[i] < stmts[j] })
+	return vars, stmts
+}
+
+// New assembles a cluster from an explicit pointer set, running
+// Algorithm 1 for its slice. Cover builders use it internally; it is
+// exported for custom cascade stages (e.g. One-Flow refinement pieces).
+func New(p *ir.Program, sa *steens.Analysis, id int, kind Kind, pointers []ir.VarID) *Cluster {
+	return newCluster(NewIndex(p, sa), id, kind, pointers)
+}
+
+// newCluster assembles a Cluster, running Algorithm 1 for its slice.
+func newCluster(ix *Index, id int, kind Kind, pointers []ir.VarID) *Cluster {
+	p := ix.prog
+	sorted := append([]ir.VarID(nil), pointers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	vars, stmts := ix.RelevantStatements(sorted)
+	c := &Cluster{
+		ID:       id,
+		Kind:     kind,
+		Pointers: sorted,
+		Vars:     vars,
+		Stmts:    stmts,
+		varSet:   make(map[ir.VarID]bool, len(vars)),
+		stmtSet:  make(map[ir.Loc]bool, len(stmts)),
+	}
+	for _, v := range vars {
+		c.varSet[v] = true
+	}
+	fnSet := map[ir.FuncID]bool{}
+	for _, loc := range stmts {
+		c.stmtSet[loc] = true
+		fnSet[p.Node(loc).Fn] = true
+	}
+	for f := range fnSet {
+		c.Funcs = append(c.Funcs, f)
+	}
+	sort.Slice(c.Funcs, func(i, j int) bool { return c.Funcs[i] < c.Funcs[j] })
+	return c
+}
+
+// BuildWhole returns the no-clustering baseline: all pointers in one
+// cluster covering every statement.
+func BuildWhole(p *ir.Program, sa *steens.Analysis) *Cluster {
+	all := make([]ir.VarID, p.NumVars())
+	for i := range all {
+		all[i] = ir.VarID(i)
+	}
+	return newCluster(NewIndex(p, sa), 0, KindWhole, all)
+}
+
+// BuildSteensgaard returns one cluster per Steensgaard partition that has
+// any analysis work to do (at least two members or at least one relevant
+// statement). Together they are a disjoint alias cover of the program.
+func BuildSteensgaard(p *ir.Program, sa *steens.Analysis) []*Cluster {
+	ix := NewIndex(p, sa)
+	var out []*Cluster
+	for _, part := range sa.Partitions() {
+		c := newCluster(ix, len(out), KindSteensgaard, part)
+		if len(c.Stmts) == 0 {
+			// No statement can ever give these members a value: they
+			// cannot alias anything, so no analysis work exists. This
+			// also covers the pure-object partitions (data everything
+			// points at but nothing assigns through).
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// DefaultAndersenThreshold is the partition size above which Andersen
+// clustering pays off; the paper determined 60 empirically for its
+// benchmark suite.
+const DefaultAndersenThreshold = 60
+
+// BuildAndersen refines a Steensgaard cover with Andersen clustering:
+// partitions no larger than threshold are kept as-is, while each oversized
+// partition is re-analyzed with Andersen's analysis restricted to its
+// relevant statements; the resulting clusters are the inverse points-to
+// sets intersected with the partition (deduplicated, subset-absorbed).
+// Pointers of an oversized partition that Andersen finds alias-free are
+// dropped — they need no precise analysis, and Theorem 7 keeps the union
+// of per-cluster aliases complete.
+func BuildAndersen(p *ir.Program, sa *steens.Analysis, threshold int) []*Cluster {
+	if threshold <= 0 {
+		threshold = DefaultAndersenThreshold
+	}
+	ix := NewIndex(p, sa)
+	var out []*Cluster
+	for _, part := range sa.Partitions() {
+		base := newCluster(ix, 0, KindSteensgaard, part)
+		if len(base.Stmts) == 0 {
+			continue // alias-free (see BuildSteensgaard)
+		}
+		if len(part) <= threshold {
+			base.ID = len(out)
+			out = append(out, base)
+			continue
+		}
+		// Oversized: Andersen restricted to the partition's slice.
+		aa := andersen.Analyze(p, andersen.WithStmtFilter(base.HasStmt))
+		inPart := map[ir.VarID]bool{}
+		for _, v := range part {
+			inPart[v] = true
+		}
+		sets := map[string][]ir.VarID{}
+		for o, ptrs := range aa.Clusters() {
+			var members []ir.VarID
+			for _, q := range ptrs {
+				if inPart[q] {
+					members = append(members, q)
+				}
+			}
+			// The pointed-to object itself belongs to its own partition's
+			// clusters, not to this pointer-level one.
+			_ = o
+			if len(members) == 0 {
+				continue
+			}
+			key := clusterKey(members)
+			sets[key] = members
+		}
+		if len(sets) == 0 {
+			// Andersen found no aliasing structure; keep the partition.
+			base.ID = len(out)
+			out = append(out, base)
+			continue
+		}
+		keys := make([]string, 0, len(sets))
+		for k := range sets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, newCluster(ix, len(out), KindAndersen, sets[k]))
+		}
+	}
+	return out
+}
+
+func clusterKey(members []ir.VarID) string {
+	b := make([]byte, 0, len(members)*4)
+	for _, m := range members {
+		b = append(b, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(b)
+}
+
+// BuildSyntactic is the related-work baseline (Zhang et al., FSE 1996):
+// clusters are connected components of the relation "appears in the same
+// pointer assignment", a purely syntactic transitive closure that ignores
+// the points-to hierarchy. The paper argues Steensgaard partitions are
+// strictly finer; tests and benches verify that.
+func BuildSyntactic(p *ir.Program, sa *steens.Analysis) []*Cluster {
+	parent := make([]int, p.NumVars())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, n := range p.Nodes {
+		switch n.Stmt.Op {
+		case ir.OpCopy, ir.OpAddr, ir.OpLoad, ir.OpStore:
+			union(int(n.Stmt.Dst), int(n.Stmt.Src))
+		}
+	}
+	groups := map[int][]ir.VarID{}
+	for v := 0; v < p.NumVars(); v++ {
+		groups[find(v)] = append(groups[find(v)], ir.VarID(v))
+	}
+	reps := make([]int, 0, len(groups))
+	for r := range groups {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+	ix := NewIndex(p, sa)
+	var out []*Cluster
+	for _, r := range reps {
+		c := newCluster(ix, len(out), KindSyntactic, groups[r])
+		if len(c.Stmts) == 0 {
+			continue // alias-free (see BuildSteensgaard)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Stats summarizes a cover for the paper's Table 1 columns.
+type Stats struct {
+	NumClusters int
+	MaxSize     int
+	TotalSize   int // sum of cluster sizes (> Covered under overlap)
+	Covered     int // distinct pointers covered
+}
+
+// Overlap is the mean number of clusters containing each covered pointer
+// (1.0 for a disjoint cover). The paper flags high overlap as the signal
+// that Andersen clustering will not pay off: "the total time taken to
+// process all clusters may actually increase".
+func (s Stats) Overlap() float64 {
+	if s.Covered == 0 {
+		return 0
+	}
+	return float64(s.TotalSize) / float64(s.Covered)
+}
+
+// CoverStats computes #clusters / max cluster size / overlap over a cover.
+func CoverStats(cs []*Cluster) Stats {
+	var s Stats
+	s.NumClusters = len(cs)
+	covered := map[ir.VarID]bool{}
+	for _, c := range cs {
+		if c.Size() > s.MaxSize {
+			s.MaxSize = c.Size()
+		}
+		s.TotalSize += c.Size()
+		for _, p := range c.Pointers {
+			covered[p] = true
+		}
+	}
+	s.Covered = len(covered)
+	return s
+}
+
+// SizeHistogram returns cluster-size frequencies (size -> count), the data
+// behind the paper's Figure 1.
+func SizeHistogram(cs []*Cluster) map[int]int {
+	h := map[int]int{}
+	for _, c := range cs {
+		h[c.Size()]++
+	}
+	return h
+}
+
+// SelectClusters returns the clusters containing at least one pointer
+// satisfying pred — the paper's demand-driven mode (e.g. lock pointers
+// only for lockset computation).
+func SelectClusters(cs []*Cluster, p *ir.Program, pred func(*ir.Var) bool) []*Cluster {
+	var out []*Cluster
+	for _, c := range cs {
+		for _, v := range c.Pointers {
+			if pred(p.Var(v)) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,609 @@
+// Package core implements the paper's bootstrapping framework end to end:
+// the cascade of increasingly precise analyses (Steensgaard → [One-Flow] →
+// Andersen → summarization-based FSCS), where each stage runs only on the
+// pointer subsets produced by the previous stage; per-cluster slicing via
+// Algorithm 1; parallel execution of the independent per-cluster analyses;
+// the paper's greedy k-machine simulation; and the demand-driven mode that
+// analyzes only clusters whose pointers an application cares about (e.g.
+// lock pointers for race detection).
+//
+// This is the public facade of the repository: parse/lower a program, call
+// Analyze, and query flow- and context-sensitive aliases.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/fscs"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/oneflow"
+	"bootstrap/internal/steens"
+)
+
+// Mode selects the clustering cascade.
+type Mode uint8
+
+// Clustering modes, in increasing bootstrap depth. The paper's Table 1
+// compares ModeNone (column "without clustering"), ModeSteensgaard and
+// ModeAndersen; ModeSyntactic is the Zhang et al. related-work baseline.
+const (
+	ModeNone Mode = iota
+	ModeSteensgaard
+	ModeAndersen
+	ModeSyntactic
+)
+
+var modeNames = [...]string{"none", "steensgaard", "andersen", "syntactic"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// Config tunes an analysis run.
+type Config struct {
+	// Mode selects the clustering cascade stage (default ModeAndersen:
+	// the full bootstrap).
+	Mode Mode
+	// AndersenThreshold is the partition size above which Andersen
+	// clustering kicks in (paper: 60). Zero selects the default.
+	AndersenThreshold int
+	// UseOneFlow inserts Das's One-Level-Flow analysis between
+	// Steensgaard and Andersen, refining which partitions are considered
+	// oversized (the cascade extension the paper suggests in Section 4).
+	UseOneFlow bool
+	// Workers bounds the per-cluster parallelism. Zero means GOMAXPROCS;
+	// 1 forces sequential execution.
+	Workers int
+	// ClusterBudget caps the worklist tuples each per-cluster engine may
+	// process — the analogue of the paper's 15-minute timeout. Zero means
+	// unlimited.
+	ClusterBudget int64
+	// MaxCond bounds constraint conjunctions (default 8).
+	MaxCond int
+	// Demand restricts the precise analysis to clusters containing at
+	// least one pointer satisfying the predicate (the paper's
+	// demand-driven mode). Nil analyzes every cluster.
+	Demand func(*ir.Var) bool
+	// Lazy defers all per-cluster FSCS work: no engines run during
+	// AnalyzeProgram; a cluster is analyzed the first time one of its
+	// pointers is queried. This is the paper's "ability to pick and
+	// choose which clusters to explore ... adapted on-the-fly based on
+	// the demands of the application".
+	Lazy bool
+	// HybridSizeLimit, when positive, enables the paper's hybrid mode:
+	// clusters larger than the limit are not given the expensive FSCS
+	// treatment — queries on their pointers answer from the
+	// flow-insensitive Andersen result instead ("one may choose to engage
+	// different pointer analysis methods to analyze different clusters
+	// based on their sizes and access densities").
+	HybridSizeLimit int
+}
+
+// Timing records where the analysis spent its time, mirroring the columns
+// of the paper's Table 1.
+type Timing struct {
+	Lower       time.Duration // frontend (parse + lower + devirtualize)
+	Steensgaard time.Duration // partitioning
+	OneFlow     time.Duration // optional cascade stage
+	Clustering  time.Duration // Andersen clustering (refinement of oversized partitions)
+	FSCS        time.Duration // total sequential per-cluster FSCS time
+	Wall        time.Duration // wall-clock FSCS time (parallel)
+	PerCluster  []time.Duration
+}
+
+// Analysis is a completed bootstrapped analysis with query access.
+type Analysis struct {
+	Prog      *ir.Program
+	Steens    *steens.Analysis
+	Andersen  *andersen.Analysis
+	CallGraph *callgraph.Graph
+	Clusters  []*cluster.Cluster
+	Timing    Timing
+
+	// Exhausted lists the cluster IDs whose engines ran out of budget.
+	Exhausted []int
+
+	cfg       Config
+	mu        sync.Mutex
+	engines   map[int]*fscs.Engine
+	selected  map[int]*cluster.Cluster // clusters eligible for engines (lazy mode)
+	byPointer map[ir.VarID][]int       // pointer -> cluster ids containing it
+}
+
+// AnalyzeSource parses, lowers and analyzes CPL source text.
+func AnalyzeSource(src string, cfg Config) (*Analysis, error) {
+	start := time.Now()
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := AnalyzeProgram(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.Timing.Lower = time.Since(start) - a.Timing.Steensgaard - a.Timing.OneFlow -
+		a.Timing.Clustering - a.Timing.Wall
+	return a, nil
+}
+
+// AnalyzeProgram runs the full bootstrap cascade over an IR program. The
+// program may still contain indirect-call placeholders; they are
+// devirtualized with Steensgaard-resolved targets first.
+func AnalyzeProgram(prog *ir.Program, cfg Config) (*Analysis, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.AndersenThreshold == 0 {
+		cfg.AndersenThreshold = cluster.DefaultAndersenThreshold
+	}
+
+	a := &Analysis{
+		Prog:      prog,
+		cfg:       cfg,
+		engines:   map[int]*fscs.Engine{},
+		selected:  map[int]*cluster.Cluster{},
+		byPointer: map[ir.VarID][]int{},
+	}
+
+	// Stage 0: Steensgaard over the whole program (the scalable base of
+	// the cascade), plus function-pointer devirtualization.
+	t0 := time.Now()
+	sa := steens.Analyze(prog)
+	if frontend.HasIndirectCalls(prog) {
+		if err := frontend.Devirtualize(prog, func(_ ir.Loc, fp ir.VarID) []ir.FuncID {
+			return sa.Targets(fp)
+		}); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		sa = steens.Analyze(prog)
+	}
+	a.Steens = sa
+	a.Timing.Steensgaard = time.Since(t0)
+
+	// Optional middle stage: One-Level Flow. Its only framework role is
+	// to refine the "oversized" judgement: partitions whose One-Flow
+	// refinement is already small skip Andersen clustering.
+	var of *oneflow.Analysis
+	if cfg.UseOneFlow {
+		t := time.Now()
+		of = oneflow.AnalyzeWith(prog, sa)
+		a.Timing.OneFlow = time.Since(t)
+	}
+
+	// Stage 1: build the alias cover.
+	t1 := time.Now()
+	switch cfg.Mode {
+	case ModeNone:
+		a.Clusters = []*cluster.Cluster{cluster.BuildWhole(prog, sa)}
+	case ModeSteensgaard:
+		a.Clusters = cluster.BuildSteensgaard(prog, sa)
+	case ModeAndersen:
+		threshold := cfg.AndersenThreshold
+		if of != nil {
+			a.Clusters = buildWithOneFlow(prog, sa, of, threshold)
+		} else {
+			a.Clusters = cluster.BuildAndersen(prog, sa, threshold)
+		}
+	case ModeSyntactic:
+		a.Clusters = cluster.BuildSyntactic(prog, sa)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+	a.Timing.Clustering = time.Since(t1)
+
+	// The flow-insensitive fallback for imprecise FSCS paths.
+	a.Andersen = andersen.Analyze(prog)
+	a.CallGraph = callgraph.Build(prog)
+
+	// Demand-driven selection, then the hybrid size cut-off: oversized
+	// clusters keep the cheap flow-insensitive answer.
+	work := a.Clusters
+	if cfg.Demand != nil {
+		work = cluster.SelectClusters(a.Clusters, prog, cfg.Demand)
+	}
+	if cfg.HybridSizeLimit > 0 {
+		kept := work[:0:0]
+		for _, c := range work {
+			if c.Size() <= cfg.HybridSizeLimit {
+				kept = append(kept, c)
+			}
+		}
+		work = kept
+	}
+	for _, c := range work {
+		a.selected[c.ID] = c
+		for _, p := range c.Pointers {
+			a.byPointer[p] = append(a.byPointer[p], c.ID)
+		}
+	}
+
+	if cfg.Lazy {
+		// Engines are created (and compute) on first query.
+		return a, nil
+	}
+
+	// Stage 2: the precise per-cluster FSCS analyses, in parallel.
+	a.Timing.PerCluster = make([]time.Duration, len(work))
+	engines := make([]*fscs.Engine, len(work))
+	exhausted := make([]bool, len(work))
+
+	tw := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, c := range work {
+		wg.Add(1)
+		go func(i int, c *cluster.Cluster) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t := time.Now()
+			eng := fscs.NewEngine(prog, a.CallGraph, sa, c,
+				fscs.WithFallback(a.Andersen),
+				fscs.WithBudget(cfg.ClusterBudget),
+				fscs.WithMaxCond(maxCondOrDefault(cfg.MaxCond)))
+			err := eng.Run()
+			a.Timing.PerCluster[i] = time.Since(t)
+			engines[i] = eng
+			exhausted[i] = err == fscs.ErrBudget
+		}(i, c)
+	}
+	wg.Wait()
+	a.Timing.Wall = time.Since(tw)
+	for i, c := range work {
+		a.engines[c.ID] = engines[i]
+		a.Timing.FSCS += a.Timing.PerCluster[i]
+		if exhausted[i] {
+			a.Exhausted = append(a.Exhausted, c.ID)
+		}
+	}
+	sort.Ints(a.Exhausted)
+	return a, nil
+}
+
+func maxCondOrDefault(n int) int {
+	if n <= 0 {
+		return 8
+	}
+	return n
+}
+
+// buildWithOneFlow refines the oversized judgement with One-Flow: an
+// oversized Steensgaard partition whose largest One-Flow refinement is
+// within the threshold is split along the One-Flow refinement instead of
+// paying for an Andersen run.
+func buildWithOneFlow(prog *ir.Program, sa *steens.Analysis, of *oneflow.Analysis, threshold int) []*cluster.Cluster {
+	var out []*cluster.Cluster
+	andersenCover := cluster.BuildAndersen(prog, sa, threshold)
+	// BuildAndersen already keeps small partitions; reuse it, but first
+	// check the One-Flow split for the oversized ones. For simplicity the
+	// One-Flow stage only changes which partitions get the expensive
+	// Andersen treatment; correctness is unchanged (both are alias
+	// covers). When One-Flow refines an oversized partition into pieces
+	// within the threshold, those pieces are used directly.
+	refined := map[int]bool{}
+	for _, part := range sa.Partitions() {
+		if len(part) <= threshold {
+			continue
+		}
+		pieces := of.Refine(part)
+		max := 0
+		for _, p := range pieces {
+			if len(p) > max {
+				max = len(p)
+			}
+		}
+		if max <= threshold && len(pieces) > 1 {
+			rep := sa.Rep(part[0])
+			refined[rep] = true
+			for _, piece := range pieces {
+				out = append(out, cluster.New(prog, sa, len(out), cluster.KindOneFlow, piece))
+			}
+		}
+	}
+	for _, c := range andersenCover {
+		if len(c.Pointers) > 0 && refined[sa.Rep(c.Pointers[0])] && c.Kind == cluster.KindAndersen {
+			continue // replaced by One-Flow pieces
+		}
+		cc := *c
+		cc.ID = len(out)
+		out = append(out, &cc)
+	}
+	return out
+}
+
+// getEngine returns (creating lazily when Config.Lazy) the engine of a
+// selected cluster; nil if the cluster was not selected. Callers must hold
+// a.mu.
+func (a *Analysis) getEngine(clusterID int) *fscs.Engine {
+	if e, ok := a.engines[clusterID]; ok {
+		return e
+	}
+	c, ok := a.selected[clusterID]
+	if !ok || !a.cfg.Lazy {
+		return nil
+	}
+	// Lazy mode: create the engine without a Run — the query itself
+	// drives exactly the summary and points-to computation it needs.
+	e := fscs.NewEngine(a.Prog, a.CallGraph, a.Steens, c,
+		fscs.WithFallback(a.Andersen),
+		fscs.WithBudget(a.cfg.ClusterBudget),
+		fscs.WithMaxCond(maxCondOrDefault(a.cfg.MaxCond)))
+	a.engines[clusterID] = e
+	return e
+}
+
+// Engine returns the FSCS engine of a cluster (nil if the cluster was not
+// selected for analysis). In lazy mode the engine is created on first use.
+func (a *Analysis) Engine(clusterID int) *fscs.Engine {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.getEngine(clusterID)
+}
+
+// ClustersOf returns the IDs of the analyzed clusters containing p.
+func (a *Analysis) ClustersOf(p ir.VarID) []int { return a.byPointer[p] }
+
+// MayAlias reports whether p and q may alias at loc: per Theorems 6 and 7
+// it suffices to check the clusters containing p. Engines are not
+// concurrency-safe, so queries are serialized.
+func (a *Analysis) MayAlias(p, q ir.VarID, loc ir.Loc) bool {
+	if p == q {
+		return true
+	}
+	if !a.Steens.SamePartition(p, q) {
+		return false // disjoint cover: cannot alias
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := a.byPointer[p]
+	if len(ids) == 0 {
+		// p was not selected (demand-driven or hybrid mode) — fall back
+		// soundly to the flow-insensitive result.
+		return a.Andersen.MayAlias(p, q)
+	}
+	for _, id := range ids {
+		eng := a.getEngine(id)
+		if eng == nil {
+			continue
+		}
+		if !eng.Cluster().HasPointer(q) {
+			continue
+		}
+		if eng.MayAlias(p, q, loc) {
+			return true
+		}
+	}
+	// If no analyzed cluster contains both, they share no Andersen
+	// object; under the disjunctive cover they cannot alias unless the
+	// flow-insensitive fallback says so for unanalyzed pairs.
+	for _, id := range ids {
+		if eng := a.getEngine(id); eng != nil && eng.Cluster().HasPointer(q) {
+			return false
+		}
+	}
+	return a.Andersen.MayAlias(p, q)
+}
+
+// Aliases returns the pointers that may alias p at loc: the union of the
+// per-cluster alias sets (condition (ii) of Section 2).
+func (a *Analysis) Aliases(p ir.VarID, loc ir.Loc) []ir.VarID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := map[ir.VarID]bool{}
+	for _, id := range a.byPointer[p] {
+		eng := a.getEngine(id)
+		if eng == nil {
+			continue
+		}
+		for _, q := range eng.Aliases(p, loc) {
+			set[q] = true
+		}
+	}
+	out := make([]ir.VarID, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MustAlias reports whether p and q must alias at loc, via any analyzed
+// cluster containing both.
+func (a *Analysis) MustAlias(p, q ir.VarID, loc ir.Loc) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, id := range a.byPointer[p] {
+		eng := a.getEngine(id)
+		if eng == nil || !eng.Cluster().HasPointer(q) {
+			continue
+		}
+		if eng.MustAlias(p, q, loc) {
+			return true
+		}
+	}
+	return false
+}
+
+// PointsTo returns the objects p may reference at loc (union over p's
+// clusters), and whether every contributing engine was precise.
+func (a *Analysis) PointsTo(p ir.VarID, loc ir.Loc) ([]ir.VarID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := map[ir.VarID]bool{}
+	precise := true
+	found := false
+	for _, id := range a.byPointer[p] {
+		eng := a.getEngine(id)
+		if eng == nil {
+			continue
+		}
+		found = true
+		objs, ok := eng.Values(p, loc)
+		precise = precise && ok
+		for _, o := range objs {
+			set[o] = true
+		}
+	}
+	if !found {
+		var objs []ir.VarID
+		a.Andersen.PointsToSet(p).ForEach(func(o int) bool {
+			objs = append(objs, ir.VarID(o))
+			return true
+		})
+		return objs, false
+	}
+	out := make([]ir.VarID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, precise
+}
+
+// DerefState resolves what a dereference of p at loc may observe: the
+// referable objects, whether some path arrives with p null or
+// uninitialized, and whether the answer is precise. Pointers outside every
+// analyzed cluster fall back to the flow-insensitive set with
+// precise=false and unknown flags cleared.
+func (a *Analysis) DerefState(p ir.VarID, loc ir.Loc) (objs []ir.VarID, mayNull, mayUninit, precise bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := map[ir.VarID]bool{}
+	precise = true
+	found := false
+	for _, id := range a.byPointer[p] {
+		eng := a.getEngine(id)
+		if eng == nil {
+			continue
+		}
+		found = true
+		st := eng.ValueState(p, loc)
+		precise = precise && !st.Unknown
+		mayNull = mayNull || st.Null
+		mayUninit = mayUninit || st.Uninit
+		for _, o := range st.Objs {
+			set[o] = true
+		}
+	}
+	if !found {
+		objs, _ = a.PointsToLockedFallback(p)
+		return objs, false, false, false
+	}
+	objs = make([]ir.VarID, 0, len(set))
+	for o := range set {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return objs, mayNull, mayUninit, precise
+}
+
+// ValuesInContext returns the objects p may reference at loc when reached
+// via the given call path (fully flow- AND context-sensitive), unioned
+// over p's clusters. The boolean reports precision.
+func (a *Analysis) ValuesInContext(p ir.VarID, loc ir.Loc, ctx fscs.Context) ([]ir.VarID, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := map[ir.VarID]bool{}
+	precise := true
+	found := false
+	for _, id := range a.byPointer[p] {
+		eng := a.getEngine(id)
+		if eng == nil {
+			continue
+		}
+		objs, ok, err := eng.ValuesInContext(p, loc, ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		found = true
+		precise = precise && ok
+		for _, o := range objs {
+			set[o] = true
+		}
+	}
+	if !found {
+		objs, ok := a.PointsToLockedFallback(p)
+		return objs, ok, nil
+	}
+	out := make([]ir.VarID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, precise, nil
+}
+
+// PointsToLockedFallback returns the flow-insensitive points-to set; the
+// caller must hold a.mu. The boolean is always false (imprecise).
+func (a *Analysis) PointsToLockedFallback(p ir.VarID) ([]ir.VarID, bool) {
+	var objs []ir.VarID
+	a.Andersen.PointsToSet(p).ForEach(func(o int) bool {
+		objs = append(objs, ir.VarID(o))
+		return true
+	})
+	return objs, false
+}
+
+// MustAliasInContext reports whether p and q must alias at loc in the
+// given call path, via any analyzed cluster containing both.
+func (a *Analysis) MustAliasInContext(p, q ir.VarID, loc ir.Loc, ctx fscs.Context) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, id := range a.byPointer[p] {
+		eng := a.getEngine(id)
+		if eng == nil || !eng.Cluster().HasPointer(q) {
+			continue
+		}
+		ok, err := eng.MustAliasInContext(p, q, loc, ctx)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SimulateParallel reproduces the paper's experiment setup: distribute the
+// clusters into k parts with the greedy heuristic (accumulate clusters
+// until a part's pointer count reaches total/k), time each part as the sum
+// of its per-cluster times, and return the maximum over parts — the
+// simulated wall-clock on k machines.
+func SimulateParallel(clusters []*cluster.Cluster, times []time.Duration, k int) time.Duration {
+	if len(clusters) == 0 || k <= 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Size()
+	}
+	perPart := total / k
+	if perPart == 0 {
+		perPart = 1
+	}
+	var maxPart, curTime time.Duration
+	curSize := 0
+	for i, c := range clusters {
+		curSize += c.Size()
+		if i < len(times) {
+			curTime += times[i]
+		}
+		if curSize >= perPart {
+			if curTime > maxPart {
+				maxPart = curTime
+			}
+			curSize, curTime = 0, 0
+		}
+	}
+	if curTime > maxPart {
+		maxPart = curTime
+	}
+	return maxPart
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/fscs"
+	"bootstrap/internal/ir"
+)
+
+const testProgram = `
+	int a, b, c;
+	int *x, *y, *p;
+	int **px;
+	lock m1, m2;
+	lock *l1, *l2;
+	void swap() {
+		int *t;
+		t = x;
+		x = y;
+		y = t;
+	}
+	void locks() {
+		l1 = &m1;
+		l2 = l1;
+	}
+	void main() {
+		x = &a;
+		y = &b;
+		p = &c;
+		px = &x;
+		swap();
+		*px = p;
+		locks();
+	}
+`
+
+func v(t *testing.T, a *Analysis, name string) ir.VarID {
+	t.Helper()
+	id, ok := a.Prog.VarByName[name]
+	if !ok {
+		t.Fatalf("no variable %q", name)
+	}
+	return id
+}
+
+func exitLoc(a *Analysis) ir.Loc { return a.Prog.Func(a.Prog.Entry).Exit }
+
+func TestModesAgreeOnAliases(t *testing.T) {
+	var results []*Analysis
+	for _, mode := range []Mode{ModeNone, ModeSteensgaard, ModeAndersen, ModeSyntactic} {
+		a, err := AnalyzeSource(testProgram, Config{Mode: mode, Workers: 1, AndersenThreshold: 2})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		results = append(results, a)
+	}
+	exit := exitLoc(results[0])
+	pairs := [][2]string{
+		{"x", "y"}, {"x", "p"}, {"y", "p"}, {"l1", "l2"}, {"x", "l1"},
+	}
+	for _, pair := range pairs {
+		base := results[0]
+		want := base.MayAlias(v(t, base, pair[0]), v(t, base, pair[1]), exit)
+		for i, a := range results[1:] {
+			got := a.MayAlias(v(t, a, pair[0]), v(t, a, pair[1]), exit)
+			if got != want {
+				t.Errorf("mode %d: MayAlias(%s,%s) = %v, baseline (no clustering) = %v",
+					i+1, pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeAndersen, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(a)
+	// swap + *px = p: x ends as &c (store through px), y as &a.
+	objs, _ := a.PointsTo(v(t, a, "x"), exit)
+	names := map[string]bool{}
+	for _, o := range objs {
+		names[a.Prog.VarName(o)] = true
+	}
+	if !names["c"] {
+		t.Errorf("PointsTo(x) = %v, want c after *px = p", names)
+	}
+	if !a.MustAlias(v(t, a, "l1"), v(t, a, "l2"), exit) {
+		t.Error("l1 and l2 must alias")
+	}
+	if a.MayAlias(v(t, a, "x"), v(t, a, "l1"), exit) {
+		t.Error("int pointers and lock pointers cannot alias")
+	}
+	if len(a.Clusters) < 2 {
+		t.Errorf("expected multiple clusters, got %d", len(a.Clusters))
+	}
+	if a.Timing.Steensgaard <= 0 || a.Timing.FSCS <= 0 {
+		t.Error("timings should be recorded")
+	}
+}
+
+func TestDemandDrivenLocks(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{
+		Mode:    ModeAndersen,
+		Workers: 1,
+		Demand:  func(vr *ir.Var) bool { return vr.IsLock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(a)
+	if !a.MustAlias(v(t, a, "l1"), v(t, a, "l2"), exit) {
+		t.Error("demand-driven lock analysis should still prove l1 == l2")
+	}
+	// Non-lock pointers were not analyzed precisely.
+	if ids := a.ClustersOf(v(t, a, "x")); len(ids) != 0 {
+		t.Errorf("x should not be in any analyzed cluster, got %v", ids)
+	}
+	// Queries on unanalyzed pointers fall back soundly.
+	if !a.MayAlias(v(t, a, "x"), v(t, a, "y"), exit) {
+		t.Error("fallback should report x/y as possible aliases")
+	}
+	// Fewer engines ran than in full mode.
+	full, err := AnalyzeSource(testProgram, Config{Mode: ModeAndersen, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Timing.PerCluster) >= len(full.Timing.PerCluster) {
+		t.Errorf("demand mode ran %d engines, full mode %d — expected fewer",
+			len(a.Timing.PerCluster), len(full.Timing.PerCluster))
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(seq)
+	for _, pair := range [][2]string{{"x", "y"}, {"x", "p"}, {"l1", "l2"}} {
+		s := seq.MayAlias(v(t, seq, pair[0]), v(t, seq, pair[1]), exit)
+		p := par.MayAlias(v(t, par, pair[0]), v(t, par, pair[1]), exit)
+		if s != p {
+			t.Errorf("MayAlias(%s,%s): sequential %v != parallel %v", pair[0], pair[1], s, p)
+		}
+	}
+}
+
+func TestOneFlowMode(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{
+		Mode: ModeAndersen, UseOneFlow: true, Workers: 1, AndersenThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(a)
+	if !a.MustAlias(v(t, a, "l1"), v(t, a, "l2"), exit) {
+		t.Error("one-flow cascade should preserve lock must-alias")
+	}
+	base, err := AnalyzeSource(testProgram, Config{Mode: ModeAndersen, Workers: 1, AndersenThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"x", "y"}, {"x", "p"}, {"y", "p"}} {
+		got := a.MayAlias(v(t, a, pair[0]), v(t, a, pair[1]), exit)
+		want := base.MayAlias(v(t, base, pair[0]), v(t, base, pair[1]), exit)
+		if got != want {
+			t.Errorf("one-flow cascade changed MayAlias(%s,%s): %v vs %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestBudgetTimeout(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeNone, Workers: 1, ClusterBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Exhausted) == 0 {
+		t.Error("tiny budget should exhaust the monolithic cluster")
+	}
+	eng := a.Engine(a.Clusters[0].ID)
+	if eng == nil || !eng.Exhausted() {
+		t.Error("the engine should report exhaustion")
+	}
+}
+
+func TestAliasesUnion(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeAndersen, Workers: 1, AndersenThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(a)
+	al := a.Aliases(v(t, a, "l1"), exit)
+	found := false
+	for _, q := range al {
+		if a.Prog.VarName(q) == "l2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Aliases(l1) should contain l2, got %d entries", len(al))
+	}
+}
+
+func TestSimulateParallel(t *testing.T) {
+	mk := func(sizes ...int) []*cluster.Cluster {
+		a, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = a
+		var cs []*cluster.Cluster
+		for range sizes {
+			cs = append(cs, a.Clusters[0])
+		}
+		return cs
+	}
+	cs := mk(1, 1, 1, 1, 1)
+	times := []time.Duration{10, 20, 30, 40, 50}
+	tot := SimulateParallel(cs, times, 1)
+	if tot != 150 {
+		t.Errorf("k=1 should serialize: got %v, want 150", tot)
+	}
+	five := SimulateParallel(cs, times, 5)
+	if five >= tot {
+		t.Errorf("k=5 (%v) should beat k=1 (%v)", five, tot)
+	}
+	if five < 50 {
+		t.Errorf("k=5 (%v) cannot beat the largest single cluster", five)
+	}
+	if got := SimulateParallel(nil, nil, 5); got != 0 {
+		t.Errorf("empty cluster list: got %v, want 0", got)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := v(t, a, "l1")
+	ids := a.ClustersOf(l1)
+	if len(ids) == 0 {
+		t.Fatal("l1 must be in an analyzed cluster")
+	}
+	eng := a.Engine(ids[0])
+	if eng == nil {
+		t.Fatal("engine missing")
+	}
+	if !eng.Cluster().HasPointer(l1) {
+		t.Error("engine cluster should contain l1")
+	}
+	var _ *fscs.Engine = eng
+}
+
+func TestAnalyzeSourceErrors(t *testing.T) {
+	if _, err := AnalyzeSource("int", Config{}); err == nil {
+		t.Error("parse error should propagate")
+	}
+	if _, err := AnalyzeSource("void main() { x = y; }", Config{}); err == nil {
+		t.Error("lowering error should propagate")
+	}
+}
+
+func TestLazyMode(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No eager engine runs.
+	if len(a.Timing.PerCluster) != 0 {
+		t.Errorf("lazy mode ran %d engines eagerly", len(a.Timing.PerCluster))
+	}
+	exit := exitLoc(a)
+	// First query creates exactly the engines of l1's clusters and still
+	// answers correctly.
+	if !a.MustAlias(v(t, a, "l1"), v(t, a, "l2"), exit) {
+		t.Error("lazy query should still prove l1 == l2")
+	}
+	// Matches eager results on the standard pairs.
+	eager, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"x", "y"}, {"x", "p"}, {"x", "l1"}} {
+		lz := a.MayAlias(v(t, a, pair[0]), v(t, a, pair[1]), exit)
+		eg := eager.MayAlias(v(t, eager, pair[0]), v(t, eager, pair[1]), exit)
+		if lz != eg {
+			t.Errorf("lazy MayAlias(%s,%s) = %v, eager = %v", pair[0], pair[1], lz, eg)
+		}
+	}
+}
+
+func TestHybridSizeLimit(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, Config{
+		Mode: ModeSteensgaard, Workers: 1, HybridSizeLimit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(a)
+	// The x/y/p cluster exceeds the limit: queries fall back to the
+	// flow-insensitive answer — still sound (may-aliases preserved).
+	if !a.MayAlias(v(t, a, "x"), v(t, a, "y"), exit) {
+		t.Error("hybrid fallback must keep sound may-aliases")
+	}
+	// The small lock cluster is still analyzed precisely.
+	if !a.MustAlias(v(t, a, "l1"), v(t, a, "l2"), exit) {
+		t.Error("small cluster should keep the precise treatment")
+	}
+	// Fewer engines ran than without the limit.
+	full, _ := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if len(a.Timing.PerCluster) >= len(full.Timing.PerCluster) {
+		t.Errorf("hybrid ran %d engines, full %d", len(a.Timing.PerCluster), len(full.Timing.PerCluster))
+	}
+}
+
+func TestValuesInContext(t *testing.T) {
+	src := `
+		int a1, a2;
+		int *g;
+		void set(int *v) { g = v; }
+		void main() {
+			set(&a1);
+			set(&a2);
+		}
+	`
+	a, err := AnalyzeSource(src, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []ir.Loc
+	setID := a.Prog.FuncByName["set"]
+	for _, n := range a.Prog.Nodes {
+		if n.Stmt.Op == ir.OpCall && n.Stmt.Callee == setID {
+			sites = append(sites, n.Loc)
+		}
+	}
+	if len(sites) != 2 {
+		t.Fatalf("found %d call sites", len(sites))
+	}
+	setExit := a.Prog.Func(setID).Exit
+	for i, want := range []string{"a1", "a2"} {
+		objs, precise, err := a.ValuesInContext(v(t, a, "g"), setExit, fscs.Context{sites[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !precise || len(objs) != 1 || a.Prog.VarName(objs[0]) != want {
+			names := make([]string, len(objs))
+			for j, o := range objs {
+				names[j] = a.Prog.VarName(o)
+			}
+			t.Errorf("context %d: objs=%v precise=%v, want exactly {%s}", i, names, precise, want)
+		}
+	}
+	// Context validation errors propagate.
+	if _, _, err := a.ValuesInContext(v(t, a, "g"), setExit, fscs.Context{}); err == nil {
+		t.Error("bad context should error")
+	}
+	// Must-alias in context.
+	ok, err := a.MustAliasInContext(v(t, a, "g"), v(t, a, "g"), setExit, fscs.Context{sites[0]})
+	if err != nil || !ok {
+		t.Errorf("g must alias itself in a valid context: %v %v", ok, err)
+	}
+}
+
+func TestDerefState(t *testing.T) {
+	src := `
+		int a;
+		int *ok, *nul, *mix;
+		void main() {
+			ok = &a;
+			nul = null;
+			mix = &a;
+			if (*) { mix = null; }
+		}
+	`
+	a, err := AnalyzeSource(src, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(a)
+	objs, mayNull, _, precise := a.DerefState(v(t, a, "ok"), exit)
+	if !precise || mayNull || len(objs) != 1 {
+		t.Errorf("ok: objs=%d null=%v precise=%v", len(objs), mayNull, precise)
+	}
+	objs, mayNull, _, precise = a.DerefState(v(t, a, "nul"), exit)
+	if !precise || !mayNull || len(objs) != 0 {
+		t.Errorf("nul: objs=%d null=%v precise=%v", len(objs), mayNull, precise)
+	}
+	_, mayNull, _, _ = a.DerefState(v(t, a, "mix"), exit)
+	if !mayNull {
+		t.Error("mix: expected a null path")
+	}
+}

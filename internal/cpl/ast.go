@@ -1,0 +1,288 @@
+package cpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is a parsed CPL translation unit.
+type File struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Type is a (possibly pointer) CPL type. Pointer depth lives on the
+// declarator, so Type records only the base.
+type Type struct {
+	Base     string // "int", "lock", "void", or a struct name
+	IsStruct bool
+}
+
+func (t Type) String() string {
+	if t.IsStruct {
+		return "struct " + t.Base
+	}
+	return t.Base
+}
+
+// Declarator is one declared name with its pointer depth, e.g. `**p`.
+type Declarator struct {
+	Stars int
+	Name  string
+	Pos   Pos
+}
+
+// VarDecl declares one or more variables of a common base type:
+// `int *p, **q;`.
+type VarDecl struct {
+	Type  Type
+	Names []Declarator
+	Pos   Pos
+}
+
+// StructDecl declares a struct type with flattened-to-be fields.
+type StructDecl struct {
+	Name   string
+	Fields []*VarDecl
+	Pos    Pos
+}
+
+// Param is a single function parameter.
+type Param struct {
+	Type  Type
+	Stars int
+	Name  string
+	Pos   Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Ret      Type
+	RetStars int
+	Name     string
+	Params   []Param
+	Body     *Block
+	Pos      Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Position() Pos
+	stmtNode()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt is `lhs = rhs;`. The frontend normalizes arbitrary lvalue and
+// rvalue shapes into the paper's four canonical forms.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// IfStmt is `if (cond) then [else els]`. A nil Cond is the nondeterministic
+// condition `*`; per the paper, conditions are treated as nondeterministic
+// by the core analyses either way.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block
+	Pos  Pos
+}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// ExprStmt is an expression in statement position — in CPL only calls.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// FreeStmt is `free(x);`, modeled per the paper as `x = NULL`.
+type FreeStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// EmptyStmt is a stray `;`.
+type EmptyStmt struct {
+	Pos Pos
+}
+
+func (b *Block) Position() Pos      { return b.Pos }
+func (s *DeclStmt) Position() Pos   { return s.Decl.Pos }
+func (s *AssignStmt) Position() Pos { return s.Pos }
+func (s *IfStmt) Position() Pos     { return s.Pos }
+func (s *WhileStmt) Position() Pos  { return s.Pos }
+func (s *ReturnStmt) Position() Pos { return s.Pos }
+func (s *ExprStmt) Position() Pos   { return s.Pos }
+func (s *FreeStmt) Position() Pos   { return s.Pos }
+func (s *EmptyStmt) Position() Pos  { return s.Pos }
+
+func (*Block) stmtNode()      {}
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*FreeStmt) stmtNode()   {}
+func (*EmptyStmt) stmtNode()  {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Position() Pos
+	exprNode()
+	String() string
+}
+
+// Ident is a variable or function name.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Deref is `*x`.
+type Deref struct {
+	X   Expr
+	Pos Pos
+}
+
+// AddrOf is `&x`.
+type AddrOf struct {
+	X   Expr
+	Pos Pos
+}
+
+// Field is `x.f` (Arrow=false) or `x->f` (Arrow=true).
+type Field struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Pos   Pos
+}
+
+// Call is `f(args)` or `(*fp)(args)`.
+type Call struct {
+	Fun  Expr
+	Args []Expr
+	Pos  Pos
+}
+
+// Malloc is a heap allocation expression; the frontend models it as the
+// address of a fresh abstract heap object named by the allocation site.
+type Malloc struct {
+	Pos Pos
+}
+
+// Null is the null pointer constant.
+type Null struct {
+	Pos Pos
+}
+
+// Num is an integer literal (non-pointer value).
+type Num struct {
+	Value string
+	Pos   Pos
+}
+
+// BinOp identifies a binary operator.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpEq
+	OpNeq
+	OpLt
+	OpGt
+)
+
+var binOpNames = [...]string{"+", "-", "==", "!=", "<", ">"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is `x op y`. `+`/`-` on pointers is pointer arithmetic, which the
+// frontend handles naively by aliasing operand and result (Remark 1).
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+	Pos  Pos
+}
+
+func (e *Ident) Position() Pos  { return e.Pos }
+func (e *Deref) Position() Pos  { return e.Pos }
+func (e *AddrOf) Position() Pos { return e.Pos }
+func (e *Field) Position() Pos  { return e.Pos }
+func (e *Call) Position() Pos   { return e.Pos }
+func (e *Malloc) Position() Pos { return e.Pos }
+func (e *Null) Position() Pos   { return e.Pos }
+func (e *Num) Position() Pos    { return e.Pos }
+func (e *Binary) Position() Pos { return e.Pos }
+
+func (*Ident) exprNode()  {}
+func (*Deref) exprNode()  {}
+func (*AddrOf) exprNode() {}
+func (*Field) exprNode()  {}
+func (*Call) exprNode()   {}
+func (*Malloc) exprNode() {}
+func (*Null) exprNode()   {}
+func (*Num) exprNode()    {}
+func (*Binary) exprNode() {}
+
+func (e *Ident) String() string  { return e.Name }
+func (e *Deref) String() string  { return "*" + e.X.String() }
+func (e *AddrOf) String() string { return "&" + e.X.String() }
+func (e *Field) String() string {
+	sep := "."
+	if e.Arrow {
+		sep = "->"
+	}
+	return e.X.String() + sep + e.Name
+}
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	fun := e.Fun.String()
+	if _, ok := e.Fun.(*Deref); ok {
+		fun = "(" + fun + ")"
+	}
+	return fun + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *Malloc) String() string { return "malloc()" }
+func (e *Null) String() string   { return "null" }
+func (e *Num) String() string    { return e.Value }
+func (e *Binary) String() string {
+	operand := func(x Expr) string {
+		if _, nested := x.(*Binary); nested {
+			return "(" + x.String() + ")"
+		}
+		return x.String()
+	}
+	return fmt.Sprintf("%s %s %s", operand(e.X), e.Op, operand(e.Y))
+}

@@ -1,0 +1,148 @@
+package cpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed file back to canonical CPL source. The output
+// reparses to a structurally identical file (see the roundtrip property
+// test), making it usable as a formatter and for emitting generated
+// programs.
+func Format(f *File) string {
+	p := &printer{}
+	for _, sd := range f.Structs {
+		p.structDecl(sd)
+	}
+	if len(f.Structs) > 0 && (len(f.Globals) > 0 || len(f.Funcs) > 0) {
+		p.nl()
+	}
+	for _, vd := range f.Globals {
+		p.varDecl(vd)
+		p.nl()
+	}
+	for i, fd := range f.Funcs {
+		if i > 0 || len(f.Globals) > 0 {
+			p.nl()
+		}
+		p.funcDecl(fd)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) line(format string, args ...any) {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteByte('\t')
+	}
+	fmt.Fprintf(&p.b, format, args...)
+	p.nl()
+}
+
+func (p *printer) structDecl(sd *StructDecl) {
+	p.line("struct %s {", sd.Name)
+	p.indent++
+	for _, vd := range sd.Fields {
+		p.varDecl(vd)
+		p.nl()
+	}
+	p.indent--
+	p.line("};")
+}
+
+// varDecl prints without the trailing newline so callers control spacing.
+func (p *printer) varDecl(vd *VarDecl) {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteByte('\t')
+	}
+	p.b.WriteString(vd.Type.String())
+	p.b.WriteByte(' ')
+	for i, d := range vd.Names {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(strings.Repeat("*", d.Stars))
+		p.b.WriteString(d.Name)
+	}
+	p.b.WriteByte(';')
+}
+
+func (p *printer) funcDecl(fd *FuncDecl) {
+	params := make([]string, len(fd.Params))
+	for i, prm := range fd.Params {
+		params[i] = fmt.Sprintf("%s %s%s", prm.Type, strings.Repeat("*", prm.Stars), prm.Name)
+	}
+	ret := fd.Ret.String()
+	if fd.RetStars > 0 {
+		ret += " " + strings.Repeat("*", fd.RetStars)
+	}
+	p.line("%s %s(%s) {", ret, fd.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range fd.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) block(b *Block) {
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *EmptyStmt:
+		p.line(";")
+	case *Block:
+		p.line("{")
+		p.block(st)
+		p.line("}")
+	case *DeclStmt:
+		p.varDecl(st.Decl)
+		p.nl()
+	case *AssignStmt:
+		p.line("%s = %s;", st.LHS, st.RHS)
+	case *ExprStmt:
+		p.line("%s;", st.X)
+	case *FreeStmt:
+		p.line("free(%s);", st.X)
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", st.Value)
+		} else {
+			p.line("return;")
+		}
+	case *IfStmt:
+		cond := "*"
+		if st.Cond != nil {
+			cond = st.Cond.String()
+		}
+		p.line("if (%s) {", cond)
+		p.block(st.Then)
+		if st.Else != nil {
+			p.line("} else {")
+			p.block(st.Else)
+		}
+		p.line("}")
+	case *WhileStmt:
+		cond := "*"
+		if st.Cond != nil {
+			cond = st.Cond.String()
+		}
+		p.line("while (%s) {", cond)
+		p.block(st.Body)
+		p.line("}")
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}

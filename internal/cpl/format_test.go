@@ -1,0 +1,105 @@
+package cpl
+
+import (
+	"strings"
+	"testing"
+)
+
+const kitchenSink = `
+	struct Inner { int *q; };
+	struct S { int *f; struct Inner in; };
+	struct S s;
+	int a, b;
+	int *x, **px;
+	lock *l;
+	void *fp;
+
+	int *id(int *v) { return v; }
+
+	void helper(void) { }
+
+	void main() {
+		int *p;
+		p = malloc;
+		p = malloc(8);
+		*px = p;
+		p = *px;
+		p = &a;
+		s.f = p;
+		p = s.in.q;
+		free(p);
+		p = null;
+		if (*) { p = x; } else { p = &b; }
+		if (p == x) { helper(); } else if (p != x) { p = id(x); }
+		while (a < b) { p = p + 1; }
+		fp = &id;
+		p = (*fp)(p);
+		(*fp)(p);
+		{
+			int *shadow;
+			shadow = p;
+		}
+		return;
+	}
+`
+
+// TestFormatRoundtrip: formatting is canonical — parse∘format is the
+// identity on formatted sources.
+func TestFormatRoundtrip(t *testing.T) {
+	f1, err := Parse(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Format(f1)
+	f2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("formatted output does not reparse: %v\n%s", err, out1)
+	}
+	out2 := Format(f2)
+	if out1 != out2 {
+		t.Errorf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+}
+
+func TestFormatPreservesStructure(t *testing.T) {
+	f, err := Parse(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	for _, want := range []string{
+		"struct S {", "int *f;", "struct Inner in;",
+		"int a, b;", "int *x, **px;",
+		"int * id(int *v) {", "return v;",
+		"p = malloc();", "free(p);", "p = null;",
+		"if (*) {", "} else {",
+		"if (p == x) {", "while (a < b) {",
+		"fp = &id;", "p = (*fp)(p);", "(*fp)(p);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBinaryParenthesization(t *testing.T) {
+	f, err := Parse(`
+		int a, b, c; int *p;
+		void main() { if (a + b == c) { p = null; } }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	if !strings.Contains(out, "(a + b) == c") {
+		t.Errorf("nested binary not parenthesized:\n%s", out)
+	}
+	// And the parenthesized form reparses to the same shape.
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if Format(f2) != out {
+		t.Error("parenthesized output not canonical")
+	}
+}

@@ -1,0 +1,125 @@
+package cpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	kinds := make([]Kind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	return kinds
+}
+
+func TestLexBasics(t *testing.T) {
+	got := lexKinds(t, "int *x = &y;")
+	want := []Kind{KwInt, Star, IDENT, Assign, Amp, IDENT, Semi, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := lexKinds(t, "== != = -> - + < > . , ( ) { }")
+	want := []Kind{Eq, Neq, Assign, Arrow, Minus, Plus, Lt, Gt, Dot, Comma,
+		LParen, RParen, LBrace, RBrace, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("int lock void struct if else while return malloc free null NULL nullx integer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{KwInt, KwLock, KwVoid, KwStruct, KwIf, KwElse, KwWhile,
+		KwReturn, KwMalloc, KwFree, KwNull, KwNull, IDENT, IDENT, EOF}
+	for i, w := range wantKinds {
+		if toks[i].Kind != w {
+			t.Errorf("token %d = %v (%q), want %v", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+	if toks[12].Text != "nullx" || toks[13].Text != "integer" {
+		t.Errorf("identifier texts: %q %q", toks[12].Text, toks[13].Text)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int x;\n  *y;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", toks[0].Pos)
+	}
+	// `*` is on line 2 column 3.
+	var star Token
+	for _, tok := range toks {
+		if tok.Kind == Star {
+			star = tok
+		}
+	}
+	if star.Pos.Line != 2 || star.Pos.Col != 3 {
+		t.Errorf("star at %v, want 2:3", star.Pos)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := lexKinds(t, "x // line comment\n/* block\ncomment */ y")
+	want := []Kind{IDENT, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("42 007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != NUMBER || toks[0].Text != "42" {
+		t.Errorf("token 0 = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Text != "007" {
+		t.Errorf("token 1 text = %q", toks[1].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "#", "x ! y", "/* open"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Lex("abc 12 ;")
+	if s := toks[0].String(); !strings.Contains(s, "abc") {
+		t.Errorf("IDENT String = %q", s)
+	}
+	if s := toks[1].String(); !strings.Contains(s, "12") {
+		t.Errorf("NUMBER String = %q", s)
+	}
+	if s := toks[2].String(); s != ";" {
+		t.Errorf("Semi String = %q", s)
+	}
+	if s := Kind(200).String(); !strings.Contains(s, "Kind") {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}

@@ -1,0 +1,535 @@
+package cpl
+
+import "fmt"
+
+// Parser is a recursive-descent parser for CPL.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a CPL translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+// MustParse parses src and panics on error. It is a convenience for tests
+// and examples with literal programs.
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind == k {
+		return p.next(), nil
+	}
+	return Token{}, fmt.Errorf("%s: expected %s, found %s", p.cur().Pos, k, p.cur())
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func isTypeStart(k Kind) bool {
+	return k == KwInt || k == KwLock || k == KwVoid || k == KwStruct
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != EOF {
+		switch {
+		case p.cur().Kind == KwStruct && p.peek().Kind == IDENT && p.lookaheadStructDef():
+			sd, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+		case isTypeStart(p.cur().Kind):
+			// Either a global variable declaration or a function definition.
+			save := p.pos
+			typ, stars, name, err := p.parseTypeDeclarator()
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind == LParen {
+				fn, err := p.parseFuncRest(typ, stars, name)
+				if err != nil {
+					return nil, err
+				}
+				f.Funcs = append(f.Funcs, fn)
+			} else {
+				p.pos = save
+				vd, err := p.parseVarDecl()
+				if err != nil {
+					return nil, err
+				}
+				f.Globals = append(f.Globals, vd)
+			}
+		default:
+			return nil, p.errf("expected declaration, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+// lookaheadStructDef distinguishes `struct S { ... }` (a type definition)
+// from `struct S x;` (a declaration using the struct type).
+func (p *Parser) lookaheadStructDef() bool {
+	// cur = struct, peek = IDENT; check the token after the name.
+	if p.pos+2 < len(p.toks) {
+		return p.toks[p.pos+2].Kind == LBrace
+	}
+	return false
+}
+
+func (p *Parser) parseStructDecl() (*StructDecl, error) {
+	pos := p.cur().Pos
+	p.next() // struct
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: name.Text, Pos: pos}
+	for p.cur().Kind != RBrace {
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, vd)
+	}
+	p.next() // }
+	p.accept(Semi)
+	return sd, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		return Type{Base: "int"}, nil
+	case KwLock:
+		p.next()
+		return Type{Base: "lock"}, nil
+	case KwVoid:
+		p.next()
+		return Type{Base: "void"}, nil
+	case KwStruct:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return Type{}, err
+		}
+		return Type{Base: name.Text, IsStruct: true}, nil
+	}
+	return Type{}, p.errf("expected type, found %s", p.cur())
+}
+
+// parseTypeDeclarator parses `type *...* name` and leaves the cursor after
+// the name. It is the common prefix of variable and function declarations.
+func (p *Parser) parseTypeDeclarator() (Type, int, Token, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return Type{}, 0, Token{}, err
+	}
+	stars := 0
+	for p.accept(Star) {
+		stars++
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return Type{}, 0, Token{}, err
+	}
+	return typ, stars, name, nil
+}
+
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	pos := p.cur().Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDecl{Type: typ, Pos: pos}
+	for {
+		dpos := p.cur().Pos
+		stars := 0
+		for p.accept(Star) {
+			stars++
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		vd.Names = append(vd.Names, Declarator{Stars: stars, Name: name.Text, Pos: dpos})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *Parser) parseFuncRest(ret Type, retStars int, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Ret: ret, RetStars: retStars, Name: name.Text, Pos: name.Pos}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(RParen) {
+		for {
+			ppos := p.cur().Pos
+			// Allow `void` as an empty parameter list: f(void).
+			if p.cur().Kind == KwVoid && p.peek().Kind == RParen {
+				p.next()
+				break
+			}
+			typ, stars, pname, err := p.parseTypeDeclarator()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Type: typ, Stars: stars, Name: pname.Text, Pos: ppos})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, p.errf("unexpected EOF, expected }")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case LBrace:
+		return p.parseBlock()
+	case Semi:
+		p.next()
+		return &EmptyStmt{Pos: tok.Pos}, nil
+	case KwInt, KwLock, KwVoid, KwStruct:
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: vd}, nil
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		p.next()
+		rs := &ReturnStmt{Pos: tok.Pos}
+		if p.cur().Kind != Semi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = e
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case KwFree:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &FreeStmt{X: x, Pos: tok.Pos}, nil
+	}
+	// Assignment or call statement.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(Assign) {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, Pos: tok.Pos}, nil
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if _, ok := lhs.(*Call); !ok {
+		return nil, fmt.Errorf("%s: expression statement must be a call", tok.Pos)
+	}
+	return &ExprStmt{X: lhs, Pos: tok.Pos}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // if
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			// else if: wrap in a synthetic block.
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &Block{Stmts: []Stmt{inner}, Pos: inner.Position()}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	pos := p.next().Pos // while
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+}
+
+// parseCond parses `( cond )` where cond is `*` (nondeterministic, returned
+// as nil) or an expression.
+func (p *Parser) parseCond() (Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == Star && p.peek().Kind == RParen {
+		p.next()
+		p.next()
+		return nil, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseExpr parses binary expressions with a single flat precedence level —
+// CPL expressions only feed pointer analysis, which treats arithmetic and
+// comparisons uniformly.
+func (p *Parser) parseExpr() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case Plus:
+			op = OpAdd
+		case Minus:
+			op = OpSub
+		case Eq:
+			op = OpEq
+		case Neq:
+			op = OpNeq
+		case Lt:
+			op = OpLt
+		case Gt:
+			op = OpGt
+		default:
+			return x, nil
+		}
+		pos := p.next().Pos
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op, X: x, Y: y, Pos: pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case Star:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Deref{X: x, Pos: tok.Pos}, nil
+	case Amp:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &AddrOf{X: x, Pos: tok.Pos}, nil
+	case KwMalloc:
+		p.next()
+		if p.accept(LParen) {
+			// Optional size argument, ignored: malloc(8).
+			if p.cur().Kind == NUMBER {
+				p.next()
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+		}
+		return &Malloc{Pos: tok.Pos}, nil
+	case KwNull:
+		p.next()
+		return &Null{Pos: tok.Pos}, nil
+	case NUMBER:
+		p.next()
+		return &Num{Value: tok.Text, Pos: tok.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	tok := p.cur()
+	var x Expr
+	switch tok.Kind {
+	case IDENT:
+		p.next()
+		x = &Ident{Name: tok.Text, Pos: tok.Pos}
+	case LParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		x = inner
+	default:
+		return nil, p.errf("expected expression, found %s", tok)
+	}
+	for {
+		switch p.cur().Kind {
+		case Dot:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &Field{X: x, Name: name.Text, Pos: name.Pos}
+		case Arrow:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &Field{X: x, Name: name.Text, Arrow: true, Pos: name.Pos}
+		case LParen:
+			pos := p.next().Pos
+			call := &Call{Fun: x, Pos: pos}
+			if !p.accept(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+				if _, err := p.expect(RParen); err != nil {
+					return nil, err
+				}
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

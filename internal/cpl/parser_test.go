@@ -1,0 +1,276 @@
+package cpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+func TestParseGlobalsAndFuncs(t *testing.T) {
+	f := parseOK(t, `
+		int *g;
+		int **pp, *q;
+		void main() {
+			g = q;
+		}
+	`)
+	if len(f.Globals) != 2 {
+		t.Fatalf("got %d global decls, want 2", len(f.Globals))
+	}
+	if got := len(f.Globals[1].Names); got != 2 {
+		t.Fatalf("second decl has %d declarators, want 2", got)
+	}
+	if f.Globals[1].Names[0].Stars != 2 || f.Globals[1].Names[0].Name != "pp" {
+		t.Errorf("first declarator = %+v, want **pp", f.Globals[1].Names[0])
+	}
+	if len(f.Funcs) != 1 || f.Funcs[0].Name != "main" {
+		t.Fatalf("funcs = %v", f.Funcs)
+	}
+}
+
+func TestParseStruct(t *testing.T) {
+	f := parseOK(t, `
+		struct S { int *f; int *g; };
+		struct S s;
+		void main() { s.f = s.g; }
+	`)
+	if len(f.Structs) != 1 || f.Structs[0].Name != "S" {
+		t.Fatalf("structs = %v", f.Structs)
+	}
+	if len(f.Structs[0].Fields) != 2 {
+		t.Fatalf("got %d fields, want 2", len(f.Structs[0].Fields))
+	}
+	if !f.Globals[0].Type.IsStruct || f.Globals[0].Type.Base != "S" {
+		t.Errorf("global type = %v, want struct S", f.Globals[0].Type)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if as.LHS.String() != "s.f" || as.RHS.String() != "s.g" {
+		t.Errorf("assign = %s = %s", as.LHS, as.RHS)
+	}
+}
+
+func TestParseCanonicalForms(t *testing.T) {
+	f := parseOK(t, `
+		int *x, *y;
+		void main() {
+			x = y;
+			x = &y;
+			*x = y;
+			x = *y;
+		}
+	`)
+	stmts := f.Funcs[0].Body.Stmts
+	want := []string{"x = y", "x = &y", "*x = y", "x = *y"}
+	if len(stmts) != len(want) {
+		t.Fatalf("got %d statements, want %d", len(stmts), len(want))
+	}
+	for i, s := range stmts {
+		as := s.(*AssignStmt)
+		got := as.LHS.String() + " = " + as.RHS.String()
+		if got != want[i] {
+			t.Errorf("stmt %d = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := parseOK(t, `
+		int *x, *y;
+		void main() {
+			if (*) { x = y; } else { y = x; }
+			while (x != y) { x = y; }
+			if (x == y) { x = y; } else if (*) { y = x; }
+		}
+	`)
+	body := f.Funcs[0].Body.Stmts
+	ifs := body[0].(*IfStmt)
+	if ifs.Cond != nil {
+		t.Error("if (*) should have nil cond")
+	}
+	if ifs.Else == nil {
+		t.Error("missing else branch")
+	}
+	ws := body[1].(*WhileStmt)
+	if ws.Cond == nil {
+		t.Error("while cond should be non-nil")
+	}
+	elseIf := body[2].(*IfStmt)
+	if elseIf.Else == nil || len(elseIf.Else.Stmts) != 1 {
+		t.Fatal("else-if should be wrapped in a block")
+	}
+	if _, ok := elseIf.Else.Stmts[0].(*IfStmt); !ok {
+		t.Error("else-if block should contain an IfStmt")
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	f := parseOK(t, `
+		int *g;
+		void *fp;
+		int *id(int *a) { return a; }
+		void main() {
+			int *x;
+			x = id(g);
+			id(x);
+			fp = &id;
+			x = (*fp)(g);
+			(*fp)(x);
+		}
+	`)
+	body := f.Funcs[1].Body.Stmts
+	as := body[1].(*AssignStmt)
+	if _, ok := as.RHS.(*Call); !ok {
+		t.Errorf("x = id(g) RHS is %T, want *Call", as.RHS)
+	}
+	es := body[2].(*ExprStmt)
+	if es.X.String() != "id(x)" {
+		t.Errorf("call stmt = %q", es.X.String())
+	}
+	ind := body[4].(*AssignStmt).RHS.(*Call)
+	if _, ok := ind.Fun.(*Deref); !ok {
+		t.Errorf("indirect call callee is %T, want *Deref", ind.Fun)
+	}
+	if got := body[5].(*ExprStmt).X.String(); got != "(*fp)(x)" {
+		t.Errorf("indirect call stmt = %q", got)
+	}
+}
+
+func TestParseMallocFreeNull(t *testing.T) {
+	f := parseOK(t, `
+		void main() {
+			int *p;
+			p = malloc;
+			p = malloc();
+			p = malloc(8);
+			free(p);
+			p = null;
+			p = NULL;
+		}
+	`)
+	body := f.Funcs[0].Body.Stmts
+	for _, i := range []int{1, 2, 3} {
+		if _, ok := body[i].(*AssignStmt).RHS.(*Malloc); !ok {
+			t.Errorf("stmt %d RHS is %T, want *Malloc", i, body[i].(*AssignStmt).RHS)
+		}
+	}
+	if _, ok := body[4].(*FreeStmt); !ok {
+		t.Errorf("stmt 4 is %T, want *FreeStmt", body[4])
+	}
+	for _, i := range []int{5, 6} {
+		if _, ok := body[i].(*AssignStmt).RHS.(*Null); !ok {
+			t.Errorf("stmt %d RHS is %T, want *Null", i, body[i].(*AssignStmt).RHS)
+		}
+	}
+}
+
+func TestParseFieldAccess(t *testing.T) {
+	f := parseOK(t, `
+		struct S { int *f; };
+		struct S s;
+		struct S *ps;
+		void main() {
+			int *x;
+			x = s.f;
+			x = ps->f;
+			s.f = &x;
+		}
+	`)
+	body := f.Funcs[0].Body.Stmts
+	if got := body[1].(*AssignStmt).RHS.String(); got != "s.f" {
+		t.Errorf("field read = %q", got)
+	}
+	arrow := body[2].(*AssignStmt).RHS.(*Field)
+	if !arrow.Arrow {
+		t.Error("ps->f should have Arrow=true")
+	}
+}
+
+func TestParsePointerArithmetic(t *testing.T) {
+	f := parseOK(t, `
+		int *p, *q;
+		void main() { p = q + 4; }
+	`)
+	bin := f.Funcs[0].Body.Stmts[0].(*AssignStmt).RHS.(*Binary)
+	if bin.Op != OpAdd {
+		t.Errorf("op = %v, want +", bin.Op)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	parseOK(t, `
+		// a line comment
+		int *x; /* block
+		           comment */ int *y;
+		void main() { x = y; } // trailing
+	`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`int x`, "expected ;"},
+		{`void main() { x = ; }`, "expected expression"},
+		{`void main() { if * { } }`, "expected ("},
+		{`void main() { x; }`, "must be a call"},
+		{`void main() {`, "unexpected EOF"},
+		{`int $x;`, "illegal character"},
+		{`/* unterminated`, "unterminated block comment"},
+		{`void main() { struct { } }`, "expected identifier"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("int *x;\nint y\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "3:") && !strings.HasPrefix(err.Error(), "2:") {
+		t.Errorf("error %q should carry a line position", err)
+	}
+}
+
+func TestParamListForms(t *testing.T) {
+	f := parseOK(t, `
+		void f0() { }
+		void f1(void) { }
+		void f2(int *a, int **b) { }
+	`)
+	if len(f.Funcs[0].Params) != 0 || len(f.Funcs[1].Params) != 0 {
+		t.Error("f0/f1 should have no parameters")
+	}
+	if len(f.Funcs[2].Params) != 2 {
+		t.Fatalf("f2 has %d params, want 2", len(f.Funcs[2].Params))
+	}
+	if f.Funcs[2].Params[1].Stars != 2 {
+		t.Errorf("f2 second param stars = %d, want 2", f.Funcs[2].Params[1].Stars)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid source should panic")
+		}
+	}()
+	MustParse("int")
+}

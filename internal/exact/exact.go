@@ -1,0 +1,273 @@
+// Package exact is a ground-truth oracle for small programs: it enumerates
+// the execution paths of an IR program (with bounded loop unrolling, call
+// depth and path count) under the IR's concrete semantics and records the
+// exact points-to facts at every visited location. Tests use it to verify
+// the soundness lattice
+//
+//	exact ⊆ FSCS ⊆ Andersen ⊆ Steensgaard-partition
+//
+// on randomly generated programs.
+//
+// The oracle interprets the IR's flat store — every variable, including
+// locals, is a single program-wide cell — which is exactly the semantics
+// the analyses are defined over (the paper's locals are summarized
+// context-insensitively the same way).
+package exact
+
+import (
+	"sort"
+
+	"bootstrap/internal/ir"
+)
+
+// Options bound the exploration.
+type Options struct {
+	MaxNodeVisits int // per node per path (loop/recursion unrolling); default 3
+	MaxCallDepth  int // default 8
+	MaxPaths      int // default 20000
+	MaxSteps      int // per path; default 4000
+}
+
+func (o *Options) fill() {
+	if o.MaxNodeVisits <= 0 {
+		o.MaxNodeVisits = 3
+	}
+	if o.MaxCallDepth <= 0 {
+		o.MaxCallDepth = 8
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 20000
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 4000
+	}
+}
+
+// valKind distinguishes concrete pointer values.
+type valKind uint8
+
+const (
+	vUninit valKind = iota
+	vNull
+	vAddr
+)
+
+type value struct {
+	kind valKind
+	obj  ir.VarID
+}
+
+type ptsKey struct {
+	v   ir.VarID
+	loc ir.Loc
+}
+
+// Result holds the recorded facts.
+type Result struct {
+	prog  *ir.Program
+	pts   map[ptsKey]map[ir.VarID]bool
+	alias map[aliasKey]bool
+
+	// Paths is the number of complete paths explored.
+	Paths int
+	// Truncated reports whether any bound was hit; if so the facts are a
+	// subset of the true facts and only ⊆ comparisons are meaningful
+	// (which is all the soundness tests need).
+	Truncated bool
+}
+
+// PointsTo returns the objects v held at loc on some explored path.
+func (r *Result) PointsTo(v ir.VarID, loc ir.Loc) []ir.VarID {
+	m := r.pts[ptsKey{v: v, loc: loc}]
+	out := make([]ir.VarID, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MayAlias reports whether p and q held the same object at loc on some
+// explored path. (Exact per-path correlation: both values are recorded
+// from the same state.)
+func (r *Result) MayAlias(p, q ir.VarID, loc ir.Loc) bool {
+	// Recorded per state below via the alias table.
+	return r.alias[aliasKey{p: p, q: q, loc: loc}] || r.alias[aliasKey{p: q, q: p, loc: loc}]
+}
+
+type aliasKey struct {
+	p, q ir.VarID
+	loc  ir.Loc
+}
+
+type explorer struct {
+	prog *ir.Program
+	opt  Options
+	res  *Result
+
+	paths int
+	done  bool
+}
+
+// frame is one call-stack entry: where to resume in the caller.
+type frame struct {
+	resume []ir.Loc
+}
+
+// Explore runs the bounded path enumeration from the program entry.
+func Explore(p *ir.Program, opt Options) *Result {
+	opt.fill()
+	res := &Result{
+		prog:  p,
+		pts:   map[ptsKey]map[ir.VarID]bool{},
+		alias: map[aliasKey]bool{},
+	}
+	ex := &explorer{prog: p, opt: opt, res: res}
+	if p.Entry == ir.NoFunc {
+		return res
+	}
+	store := make([]value, p.NumVars())
+	visits := map[ir.Loc]int{}
+	ex.step(p.Func(p.Entry).Entry, store, nil, visits, 0)
+	res.Paths = ex.paths
+	return res
+}
+
+func cloneStore(s []value) []value {
+	c := make([]value, len(s))
+	copy(c, s)
+	return c
+}
+
+func cloneVisits(v map[ir.Loc]int) map[ir.Loc]int {
+	c := make(map[ir.Loc]int, len(v))
+	for k, n := range v {
+		c[k] = n
+	}
+	return c
+}
+
+// record notes every pointer-valued variable at loc, and the alias pairs
+// among variables holding the same object.
+func (ex *explorer) record(loc ir.Loc, store []value) {
+	byObj := map[ir.VarID][]ir.VarID{}
+	for v, val := range store {
+		if val.kind != vAddr {
+			continue
+		}
+		k := ptsKey{v: ir.VarID(v), loc: loc}
+		m := ex.res.pts[k]
+		if m == nil {
+			m = map[ir.VarID]bool{}
+			ex.res.pts[k] = m
+		}
+		m[val.obj] = true
+		byObj[val.obj] = append(byObj[val.obj], ir.VarID(v))
+	}
+	for _, vs := range byObj {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				ex.res.alias[aliasKey{p: vs[i], q: vs[j], loc: loc}] = true
+			}
+		}
+	}
+}
+
+// step executes the node at loc and recurses over successors.
+func (ex *explorer) step(loc ir.Loc, store []value, stack []frame, visits map[ir.Loc]int, steps int) {
+	if ex.done {
+		return
+	}
+	if steps > ex.opt.MaxSteps {
+		ex.res.Truncated = true
+		ex.endPath()
+		return
+	}
+	if visits[loc] >= ex.opt.MaxNodeVisits {
+		ex.res.Truncated = true
+		ex.endPath()
+		return
+	}
+	visits[loc]++
+	ex.record(loc, store)
+
+	n := ex.prog.Node(loc)
+	st := n.Stmt
+	switch st.Op {
+	case ir.OpCopy:
+		store[st.Dst] = store[st.Src]
+	case ir.OpAddr:
+		store[st.Dst] = value{kind: vAddr, obj: st.Src}
+	case ir.OpNullify:
+		store[st.Dst] = value{kind: vNull}
+	case ir.OpLoad:
+		if sv := store[st.Src]; sv.kind == vAddr {
+			store[st.Dst] = store[sv.obj]
+		} else {
+			store[st.Dst] = value{kind: vUninit}
+		}
+	case ir.OpStore:
+		if dv := store[st.Dst]; dv.kind == vAddr {
+			store[dv.obj] = store[st.Src]
+		}
+	case ir.OpCall:
+		if st.Callee != ir.NoFunc {
+			if len(stack) >= ex.opt.MaxCallDepth {
+				ex.res.Truncated = true
+				ex.endPath()
+				return
+			}
+			callee := ex.prog.Func(st.Callee)
+			newStack := append(append([]frame(nil), stack...), frame{resume: n.Succs})
+			ex.step(callee.Entry, store, newStack, visits, steps+1)
+			return
+		}
+		// Undevirtualized indirect call: skip (no targets known).
+	case ir.OpAssumeEq:
+		a, b := store[st.Dst], store[st.Src]
+		if a.kind != vUninit && b.kind != vUninit && (a.kind != b.kind || a.obj != b.obj) {
+			return // provably unequal: this arm is infeasible
+		}
+	case ir.OpAssumeNeq:
+		a, b := store[st.Dst], store[st.Src]
+		if a.kind != vUninit && b.kind != vUninit && a.kind == b.kind && a.obj == b.obj {
+			return // provably equal: this arm is infeasible
+		}
+	case ir.OpRet:
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			rest := stack[:len(stack)-1]
+			ex.branch(top.resume, store, rest, visits, steps)
+			return
+		}
+		ex.endPath()
+		return
+	}
+	if len(n.Succs) == 0 {
+		ex.endPath()
+		return
+	}
+	ex.branch(n.Succs, store, stack, visits, steps)
+}
+
+// branch explores each successor with copied state (beyond the first).
+func (ex *explorer) branch(succs []ir.Loc, store []value, stack []frame, visits map[ir.Loc]int, steps int) {
+	for i, s := range succs {
+		if ex.done {
+			return
+		}
+		if i == len(succs)-1 {
+			ex.step(s, store, stack, visits, steps+1)
+		} else {
+			ex.step(s, cloneStore(store), stack, cloneVisits(visits), steps+1)
+		}
+	}
+}
+
+func (ex *explorer) endPath() {
+	ex.paths++
+	if ex.paths >= ex.opt.MaxPaths {
+		ex.res.Truncated = true
+		ex.done = true
+	}
+}

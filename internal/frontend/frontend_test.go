@@ -1,0 +1,613 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"bootstrap/internal/cpl"
+	"bootstrap/internal/ir"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := LowerSource(src)
+	if err != nil {
+		t.Fatalf("LowerSource failed: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+// stmtStrings returns the canonical statements of fn (skips omitted).
+func stmtStrings(p *ir.Program, fnName string) []string {
+	var out []string
+	f := p.Func(p.FuncByName[fnName])
+	for _, loc := range f.Nodes {
+		if p.Node(loc).Stmt.Op == ir.OpSkip || p.Node(loc).Stmt.Op == ir.OpRet {
+			continue
+		}
+		out = append(out, p.StmtString(loc))
+	}
+	return out
+}
+
+func TestCanonicalForms(t *testing.T) {
+	p := lower(t, `
+		int *x, *y; int **px;
+		void main() {
+			x = y;
+			x = &y;
+			*px = y;
+			x = *px;
+		}
+	`)
+	got := stmtStrings(p, "main")
+	want := []string{"x = y", "x = &y", "*px = y", "x = *px"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stmt %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNestedDerefIntroducesTemps(t *testing.T) {
+	p := lower(t, `
+		int ***ppp; int *x;
+		void main() {
+			x = **ppp;
+			**ppp = x;
+		}
+	`)
+	got := stmtStrings(p, "main")
+	// x = **ppp  =>  t1 = *ppp; x = *t1
+	// **ppp = x  =>  t2 = *ppp; *t2 = x
+	want := []string{
+		"main.$t1 = *ppp", "x = *main.$t1",
+		"main.$t2 = *ppp", "*main.$t2 = x",
+	}
+	if strings.Join(got, "; ") != strings.Join(want, "; ") {
+		t.Errorf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestAddrOfDerefCancels(t *testing.T) {
+	p := lower(t, `
+		int *x, *y;
+		void main() { x = &*y; }
+	`)
+	got := stmtStrings(p, "main")
+	if len(got) != 1 || got[0] != "x = y" {
+		t.Errorf("&*y should cancel to y; got %v", got)
+	}
+}
+
+func TestMallocFreeNull(t *testing.T) {
+	p := lower(t, `
+		void main() {
+			int *a, *b;
+			a = malloc;
+			b = malloc;
+			free(a);
+			b = null;
+		}
+	`)
+	got := stmtStrings(p, "main")
+	if len(got) != 4 {
+		t.Fatalf("got %d stmts: %v", len(got), got)
+	}
+	if !strings.HasPrefix(got[0], "main.a = &alloc@") {
+		t.Errorf("stmt 0 = %q, want a = &alloc@...", got[0])
+	}
+	if got[0] == strings.Replace(got[1], "main.b", "main.a", 1) {
+		t.Errorf("two allocation sites share an abstract object: %q vs %q", got[0], got[1])
+	}
+	if got[2] != "main.a = null" || got[3] != "main.b = null" {
+		t.Errorf("free/null lowering = %v", got[2:])
+	}
+}
+
+func TestStructFlattening(t *testing.T) {
+	p := lower(t, `
+		struct Inner { int *q; };
+		struct S { int *f; struct Inner in; };
+		struct S s;
+		void main() {
+			int *x;
+			s.f = x;
+			x = s.in.q;
+		}
+	`)
+	for _, name := range []string{"s.f", "s.in.q"} {
+		if _, ok := p.VarByName[name]; !ok {
+			t.Errorf("flattened variable %q missing", name)
+		}
+	}
+	got := stmtStrings(p, "main")
+	want := []string{"s.f = main.x", "main.x = s.in.q"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestWholeStructCopy(t *testing.T) {
+	p := lower(t, `
+		struct S { int *f; int *g; };
+		struct S a, b;
+		void main() { a = b; }
+	`)
+	got := stmtStrings(p, "main")
+	want := []string{"a.f = b.f", "a.g = b.g"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("struct copy = %v, want %v", got, want)
+	}
+}
+
+func TestArrowDegradesToDeref(t *testing.T) {
+	p := lower(t, `
+		struct S { int *f; };
+		struct S *ps;
+		int *x;
+		void main() {
+			x = ps->f;
+			ps->f = x;
+		}
+	`)
+	got := stmtStrings(p, "main")
+	want := []string{"main.$t1 = *ps", "x = *main.$t1", "*ps = x"}
+	// x = ps->f lowers via a temp load then a load of the temp OR directly
+	// as a double load; accept the canonical two-instruction form.
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		// Alternative acceptable lowering: x = *ps directly.
+		alt := []string{"x = *ps", "*ps = x"}
+		if strings.Join(got, ";") != strings.Join(alt, ";") {
+			t.Errorf("got %v, want %v or %v", got, want, alt)
+		}
+	}
+}
+
+func TestDirectCallLowering(t *testing.T) {
+	p := lower(t, `
+		int *id(int *a) { return a; }
+		void main() {
+			int *x, *y;
+			y = id(x);
+		}
+	`)
+	got := stmtStrings(p, "main")
+	want := []string{"id.a = main.x", "call id(main.x)", "main.y = id.$ret"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// The return-binding node must link back to the call node.
+	f := p.Func(p.FuncByName["main"])
+	var callLoc, retLoc ir.Loc = ir.NoLoc, ir.NoLoc
+	for _, loc := range f.Nodes {
+		switch p.Node(loc).Stmt.Op {
+		case ir.OpCall:
+			callLoc = loc
+		case ir.OpCopy:
+			if p.Node(loc).CallLoc != ir.NoLoc {
+				retLoc = loc
+			}
+		}
+	}
+	if callLoc == ir.NoLoc || retLoc == ir.NoLoc || p.Node(retLoc).CallLoc != callLoc {
+		t.Errorf("return binding not linked to call: call=%d ret=%d", callLoc, retLoc)
+	}
+	// Callee body: return a => id.$ret = id.a
+	gotID := stmtStrings(p, "id")
+	if len(gotID) != 1 || gotID[0] != "id.$ret = id.a" {
+		t.Errorf("id body = %v", gotID)
+	}
+}
+
+func TestIfWhileCFG(t *testing.T) {
+	p := lower(t, `
+		int *x, *y;
+		void main() {
+			if (*) { x = y; } else { y = x; }
+			while (*) { x = y; }
+		}
+	`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The while head must have a back edge: some node with a successor
+	// whose location is smaller.
+	f := p.Func(p.FuncByName["main"])
+	hasBackEdge := false
+	for _, loc := range f.Nodes {
+		for _, s := range p.Node(loc).Succs {
+			if s < loc {
+				hasBackEdge = true
+			}
+		}
+	}
+	if !hasBackEdge {
+		t.Error("while loop produced no back edge")
+	}
+}
+
+func TestReturnWiresToExit(t *testing.T) {
+	p := lower(t, `
+		int *g;
+		int *f() {
+			if (*) { return g; }
+			return null;
+		}
+	`)
+	f := p.Func(p.FuncByName["f"])
+	exit := p.Node(f.Exit)
+	if len(exit.Preds) < 2 {
+		t.Errorf("exit has %d preds, want >= 2 (both returns)", len(exit.Preds))
+	}
+	got := stmtStrings(p, "f")
+	want := []string{"f.$ret = g", "f.$ret = null"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFunctionPointerLowering(t *testing.T) {
+	p := lower(t, `
+		void *fp;
+		int *id(int *a) { return a; }
+		void main() {
+			int *x, *y;
+			fp = &id;
+			y = (*fp)(x);
+		}
+	`)
+	if !HasIndirectCalls(p) {
+		t.Fatal("indirect call should remain as a placeholder before Devirtualize")
+	}
+	got := stmtStrings(p, "main")
+	if got[0] != "fp = &$fn:id" {
+		t.Errorf("fp = &id lowered to %q", got[0])
+	}
+	// Devirtualize with an oracle that returns id.
+	idID := p.FuncByName["id"]
+	err := Devirtualize(p, func(loc ir.Loc, fptr ir.VarID) []ir.FuncID {
+		return []ir.FuncID{idID}
+	})
+	if err != nil {
+		t.Fatalf("Devirtualize: %v", err)
+	}
+	if HasIndirectCalls(p) {
+		t.Error("placeholders remain after Devirtualize")
+	}
+	got = stmtStrings(p, "main")
+	joined := strings.Join(got, ";")
+	for _, want := range []string{"id.a = main.x", "call id(main.x)", "main.y = id.$ret"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("devirtualized body %v missing %q", got, want)
+		}
+	}
+}
+
+func TestDevirtualizeNoTargets(t *testing.T) {
+	p := lower(t, `
+		void *fp;
+		void main() { (*fp)(); }
+	`)
+	err := Devirtualize(p, func(ir.Loc, ir.VarID) []ir.FuncID { return nil })
+	if err != nil {
+		t.Fatalf("Devirtualize: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevirtualizeArityFilter(t *testing.T) {
+	p := lower(t, `
+		void *fp;
+		int *one(int *a) { return a; }
+		int *two(int *a, int *b) { return b; }
+		void main() {
+			int *x, *y;
+			y = (*fp)(x);
+		}
+	`)
+	all := []ir.FuncID{p.FuncByName["one"], p.FuncByName["two"]}
+	if err := Devirtualize(p, func(ir.Loc, ir.VarID) []ir.FuncID { return all }); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(stmtStrings(p, "main"), ";")
+	if !strings.Contains(joined, "call one(") {
+		t.Error("arity-1 target dropped")
+	}
+	if strings.Contains(joined, "call two(") {
+		t.Error("arity-2 target should have been filtered for a 1-arg call")
+	}
+}
+
+func TestLockMarking(t *testing.T) {
+	p := lower(t, `
+		lock *l1, *l2;
+		int *x;
+		void main() { l1 = malloc; }
+	`)
+	for _, name := range []string{"l1", "l2"} {
+		if !p.Var(p.VarByName[name]).IsLock {
+			t.Errorf("%s should be a lock pointer", name)
+		}
+	}
+	if p.Var(p.VarByName["x"]).IsLock {
+		t.Error("x should not be a lock pointer")
+	}
+	// The heap object allocated into a lock pointer is a lock object.
+	found := false
+	for _, v := range p.Vars {
+		if v.Kind == ir.KindHeap && v.IsLock {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heap object allocated into a lock pointer should be marked")
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	p := lower(t, `
+		int *a, *b, *c;
+		void main() {
+			a = b + 1;
+			a = b + c;
+		}
+	`)
+	got := stmtStrings(p, "main")
+	if got[0] != "a = b" {
+		t.Errorf("p+int should alias result with pointer operand; got %q", got[0])
+	}
+	joined := strings.Join(got[1:], ";")
+	if !strings.Contains(joined, "a = b") || !strings.Contains(joined, "a = c") {
+		t.Errorf("p+q should alias result with both operands; got %v", got[1:])
+	}
+}
+
+func TestScopingAndShadowing(t *testing.T) {
+	p := lower(t, `
+		int *x, *y;
+		void main() {
+			x = y;
+			{
+				int *x;
+				x = y;
+			}
+			x = y;
+		}
+	`)
+	got := stmtStrings(p, "main")
+	want := []string{"x = y", "main.x = y", "x = y"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGlobalInitEntry(t *testing.T) {
+	p := lower(t, `
+		void helper() { }
+		void main() { helper(); }
+	`)
+	if p.Func(p.Entry).Name != "main" {
+		t.Errorf("entry = %s, want main", p.Func(p.Entry).Name)
+	}
+	p2 := lower(t, `void only() { }`)
+	if p2.Func(p2.Entry).Name != "only" {
+		t.Errorf("entry defaults to first function; got %s", p2.Func(p2.Entry).Name)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`void main() { x = y; }`, "undeclared identifier"},
+		{`int *x; void main() { int *x; int *x; }`, "duplicate declaration"},
+		{`struct S { int *f; }; void f(struct S s) { }`, "struct-by-value parameters"},
+		{`struct S { int *f; }; struct S f() { }`, "struct-by-value returns"},
+		{`struct S { int *f; }; struct S s; int **p; void main() { p = &s; }`, "address of a whole struct"},
+		{`void f() { } void main() { int *x; x = f(); }`, "void function"},
+		{`void f(int *a) { } void main() { f(); }`, "want 1"},
+		{`void main() { return g; }`, "void function"},
+		{`int *x; void main() { x = 1 == 2; x = *x; 3 = x; }`, "cannot assign"},
+		{`struct S { int *f; }; struct S s; int *x; void main() { x = s.g; }`, "no field"},
+		{`int *x; void x() { }`, "collides"},
+		{`void f() { } void f() { }`, "duplicate function"},
+		{`struct S { int *f; }; struct S { int *g; }; void main() { }`, "duplicate struct"},
+	}
+	for _, tc := range cases {
+		_, err := LowerSource(tc.src)
+		if err == nil {
+			t.Errorf("LowerSource(%q) succeeded, want error with %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("LowerSource(%q) error = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestValidateAfterLowering(t *testing.T) {
+	srcs := []string{
+		`void main() { }`,
+		`int *g; int *f(int *a) { if (*) { return a; } return g; }
+		 void main() { int *x; x = f(g); x = f(x); }`,
+		`int **pp; int *p; int a;
+		 void main() { p = &a; pp = &p; *pp = p; p = *pp; while (*) { p = *pp; } }`,
+	}
+	for _, src := range srcs {
+		p := lower(t, src)
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%q): %v", src, err)
+		}
+	}
+}
+
+func TestMustLowerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLower should panic on bad input")
+		}
+	}()
+	MustLower(cpl.MustParse(`void main() { x = y; }`))
+}
+
+func TestRvalueContexts(t *testing.T) {
+	// Arguments and stores force rvalueToVar through every expression
+	// shape (temps for &x, *x, malloc, null, calls, arithmetic).
+	p := lower(t, `
+		struct S { int *f; };
+		struct S s;
+		struct S *ps;
+		int a, b;
+		int *g;
+		int **pp;
+		int *id(int *v) { return v; }
+		void sink(int *v) { }
+		void main() {
+			sink(&a);          // addr arg
+			sink(*pp);         // deref arg
+			sink(malloc);      // heap arg
+			sink(null);        // null arg
+			sink(5);           // non-pointer arg: no binding
+			sink(id(&b));      // nested call arg
+			sink(s.f);         // field arg
+			sink(ps->f);       // arrow arg
+			sink(&s.f);        // addr-of-field arg
+			sink(&*g);         // &* cancels
+			sink(&ps->f);      // degrades to ps
+			sink(g + 1);       // arithmetic arg
+			sink(id);          // function name decays to address
+			*pp = id(&a);      // call as store source
+		}
+	`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The non-pointer arg must not bind the parameter.
+	count := 0
+	for _, n := range p.Nodes {
+		if n.Stmt.Op == ir.OpCall && p.Func(n.Stmt.Callee).Name == "sink" {
+			count++
+		}
+	}
+	if count != 13 {
+		t.Errorf("expected 13 sink calls, got %d", count)
+	}
+}
+
+func TestAssignToVarShapes(t *testing.T) {
+	p := lower(t, `
+		struct S { int *f; };
+		struct S s;
+		struct S *ps;
+		int a;
+		int *x, *y;
+		int **pp;
+		int *id(int *v) { return v; }
+		void main() {
+			x = s.f;      // field read
+			x = ps->f;    // arrow read
+			x = &*y;      // cancel
+			x = &s.f;     // addr of field
+			x = &ps->f;   // degrades to ps value
+			x = y + x;    // two-pointer arithmetic diamond
+			x = 1 + 2;    // non-pointer arithmetic: touch only
+			x = id;       // function decay
+			*pp = 7;      // non-pointer store: touch *pp
+		}
+	`)
+	found := false
+	for _, n := range p.Nodes {
+		if n.Stmt.Op == ir.OpTouch && n.Stmt.Src != ir.NoVar {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store of a non-pointer should produce a write-through touch")
+	}
+}
+
+func TestNestedStructCopy(t *testing.T) {
+	p := lower(t, `
+		struct Inner { int *q; };
+		struct S { int *f; struct Inner in; };
+		struct S s1, s2;
+		void main() {
+			s1 = s2;
+			s1.in = s2.in;  // sub-struct copy
+		}
+	`)
+	got := stmtStrings(p, "main")
+	want := []string{"s1.f = s2.f", "s1.in.q = s2.in.q", "s1.in.q = s2.in.q"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestArrowStore(t *testing.T) {
+	p := lower(t, `
+		struct S { int *f; };
+		struct S *ps;
+		int *x;
+		void main() { ps->f = x; }
+	`)
+	got := stmtStrings(p, "main")
+	if len(got) != 1 || got[0] != "*ps = x" {
+		t.Errorf("p->f = x should lower to *p = x; got %v", got)
+	}
+}
+
+func TestAssumeLowering(t *testing.T) {
+	p := lower(t, `
+		int a;
+		int *x, *y;
+		int count;
+		void main() {
+			if (x == y) { x = &a; }
+			if (x != y) { y = &a; } else { y = x; }
+			while (x == y) { x = y; }
+			if (count == 3) { x = y; }   // integer compare: no assume
+			if (x == *y) { x = y; }      // complex operand: no assume
+		}
+	`)
+	var eq, neq int
+	for _, n := range p.Nodes {
+		switch n.Stmt.Op {
+		case ir.OpAssumeEq:
+			eq++
+		case ir.OpAssumeNeq:
+			neq++
+		}
+	}
+	// if(==): eq+neq; if(!=): neq+eq; while(==): eq (body) + neq (exit).
+	if eq != 3 || neq != 3 {
+		t.Errorf("assume counts eq=%d neq=%d, want 3 and 3", eq, neq)
+	}
+}
+
+func TestStructArgAndMisc(t *testing.T) {
+	// Error paths in rvalue position.
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`struct S { int *f; }; struct S s; void g(int *v) { } void main() { g(&s); }`, "address of a whole struct"},
+		{`int *x; void main() { x = *5; }`, "cannot dereference"},
+		{`int *x; void main() { *5 = x; }`, "cannot dereference"},
+		{`int a; void main() { a.f = 3; }`, "not a struct"},
+		{`void f() { } void main() { f()(); }`, "unsupported callee"},
+		{`int *x; void g(int *v) { } void main() { g(*3); }`, "cannot dereference"},
+	}
+	for _, tc := range cases {
+		_, err := LowerSource(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("LowerSource(%q) error = %v, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}

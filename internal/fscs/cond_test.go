@@ -1,0 +1,136 @@
+package fscs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bootstrap/internal/ir"
+)
+
+func atomGen(rng *rand.Rand) Atom {
+	return Atom{
+		Loc: ir.Loc(rng.Intn(5)),
+		Op:  AtomOp(rng.Intn(4)),
+		X:   ir.VarID(rng.Intn(4)),
+		Y:   ir.VarID(rng.Intn(4)),
+	}
+}
+
+func TestCondTrue(t *testing.T) {
+	c := TrueCond()
+	if !c.IsTrue() || c.Key() != "" || len(c.Atoms()) != 0 {
+		t.Error("TrueCond should be the empty conjunction")
+	}
+}
+
+func TestCondWithDedupes(t *testing.T) {
+	a := Atom{Loc: 1, Op: OpPointsTo, X: 2, Y: 3}
+	c := TrueCond().With(a, 8).With(a, 8)
+	if len(c.Atoms()) != 1 {
+		t.Errorf("duplicate atom not deduped: %d atoms", len(c.Atoms()))
+	}
+}
+
+// TestCondKeyCanonical: the key identifies the atom set regardless of
+// insertion order.
+func TestCondKeyCanonical(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		atoms := make([]Atom, 1+rng.Intn(5))
+		for i := range atoms {
+			atoms[i] = atomGen(rng)
+		}
+		c1 := TrueCond()
+		for _, a := range atoms {
+			c1 = c1.With(a, 100)
+		}
+		// Insert in reverse order.
+		c2 := TrueCond()
+		for i := len(atoms) - 1; i >= 0; i-- {
+			c2 = c2.With(atoms[i], 100)
+		}
+		return c1.Key() == c2.Key()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCondWidening: exceeding the bound widens to true (a sound weakening,
+// never an error).
+func TestCondWidening(t *testing.T) {
+	c := TrueCond()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		c = c.With(atomGen(rng), 3)
+		if len(c.Atoms()) > 3 {
+			t.Fatalf("width bound violated: %d atoms", len(c.Atoms()))
+		}
+	}
+}
+
+func TestCondAnd(t *testing.T) {
+	a1 := Atom{Loc: 1, Op: OpPointsTo, X: 1, Y: 2}
+	a2 := Atom{Loc: 2, Op: OpNotPointsTo, X: 3, Y: 1}
+	c1 := TrueCond().With(a1, 8)
+	c2 := TrueCond().With(a2, 8).With(a1, 8)
+	and := c1.And(c2, 8)
+	if len(and.Atoms()) != 2 {
+		t.Errorf("And produced %d atoms, want 2", len(and.Atoms()))
+	}
+	// And with true is identity.
+	if got := c1.And(TrueCond(), 8); got.Key() != c1.Key() {
+		t.Error("c ∧ true != c")
+	}
+}
+
+func TestCondFormat(t *testing.T) {
+	p := ir.NewProgram()
+	x := p.AddVar("x", ir.KindGlobal, ir.NoFunc)
+	y := p.AddVar("y", ir.KindGlobal, ir.NoFunc)
+	c := TrueCond().
+		With(Atom{Loc: 3, Op: OpPointsTo, X: x, Y: y}, 8).
+		With(Atom{Loc: 4, Op: OpNotPointsTo, X: x, Y: y}, 8)
+	s := c.Format(p)
+	if !strings.Contains(s, "x -> y") || !strings.Contains(s, "x -/> y") {
+		t.Errorf("Format = %q", s)
+	}
+	if got := TrueCond().Format(p); got != "true" {
+		t.Errorf("true Format = %q", got)
+	}
+}
+
+func TestTokenFormat(t *testing.T) {
+	p := ir.NewProgram()
+	x := p.AddVar("x", ir.KindGlobal, ir.NoFunc)
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{VarTok(x), "x"},
+		{AddrTok(x), "&x"},
+		{NullTok(), "null"},
+		{UnknownTok(), "?"},
+	}
+	for _, tc := range cases {
+		if got := tc.tok.Format(p); got != tc.want {
+			t.Errorf("Format(%v) = %q, want %q", tc.tok, got, tc.want)
+		}
+	}
+}
+
+func TestSumTupleKeyDistinct(t *testing.T) {
+	t1 := SumTuple{Src: VarTok(1), Cond: TrueCond()}
+	t2 := SumTuple{Src: VarTok(2), Cond: TrueCond()}
+	t3 := SumTuple{Src: AddrTok(1), Cond: TrueCond()}
+	if t1.key() == t2.key() || t1.key() == t3.key() {
+		t.Error("distinct tuples must have distinct keys")
+	}
+	c := TrueCond().With(Atom{Loc: 1, Op: OpPointsTo, X: 1, Y: 2}, 8)
+	t4 := SumTuple{Src: VarTok(1), Cond: c}
+	if t1.key() == t4.key() {
+		t.Error("conditions must distinguish tuple keys")
+	}
+}

@@ -1,0 +1,314 @@
+package fscs
+
+import (
+	"errors"
+	"sort"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+)
+
+// ErrBudget is reported when the engine exceeds its work budget — the
+// analogue of the paper's 15-minute timeout on the unclustered analysis.
+var ErrBudget = errors.New("fscs: work budget exhausted")
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithFallback supplies a flow-insensitive analysis used when the
+// flow-sensitive walk loses precision (TUnknown); without it the engine
+// falls back to the Steensgaard partitioning.
+func WithFallback(a *andersen.Analysis) Option {
+	return func(e *Engine) { e.fallback = a }
+}
+
+// WithMaxCond bounds the number of conjuncts per points-to constraint
+// before widening to true (default 8).
+func WithMaxCond(n int) Option {
+	return func(e *Engine) { e.maxCond = n }
+}
+
+// WithBudget bounds the number of worklist tuples the engine may process
+// across all queries; once exceeded every walk aborts and Exhausted
+// reports true (and Run returns ErrBudget). Zero means unlimited.
+func WithBudget(n int64) Option {
+	return func(e *Engine) { e.budget = n }
+}
+
+type sumKey struct {
+	f   ir.FuncID
+	ptr ir.VarID
+}
+
+type ptsKey struct {
+	v   ir.VarID
+	loc ir.Loc
+}
+
+// Engine runs the FSCS analysis for one cluster. An Engine is not safe for
+// concurrent use; the bootstrapping scheduler creates one engine per
+// cluster per worker.
+type Engine struct {
+	prog *ir.Program
+	cg   *callgraph.Graph
+	sa   *steens.Analysis
+	cl   *cluster.Cluster
+
+	fallback *andersen.Analysis
+	maxCond  int
+	budget   int64 // 0 = unlimited
+	spent    int64
+	over     bool
+
+	// Summaries at function exits: key -> tuple set (by tuple key).
+	sums map[sumKey]map[string]SumTuple
+	done map[sumKey]bool
+
+	// Variables each function may (transitively) modify, restricted to V_P.
+	modStar map[ir.FuncID]map[ir.VarID]bool
+
+	// FSCI value-set cache: (v, loc) -> resolved sources.
+	ptsVR     map[ptsKey]*valueResult
+	ptsInProg map[ptsKey]bool
+
+	// hasAssumes is set when the cluster's slice contains path-sensitivity
+	// assume nodes; terminated walk tokens then keep walking backwards to
+	// collect the branch constraints guarding their path (Section 3's
+	// conb tracking). Without assumes they record immediately (cheaper).
+	hasAssumes bool
+
+	// Work counters for instrumentation.
+	TuplesProcessed int64
+	SummariesBuilt  int
+}
+
+// NewEngine creates an FSCS engine for one cluster of a program. The call
+// graph must be built from the same (devirtualized) program.
+func NewEngine(p *ir.Program, cg *callgraph.Graph, sa *steens.Analysis, cl *cluster.Cluster, opts ...Option) *Engine {
+	e := &Engine{
+		prog:      p,
+		cg:        cg,
+		sa:        sa,
+		cl:        cl,
+		maxCond:   8,
+		sums:      map[sumKey]map[string]SumTuple{},
+		done:      map[sumKey]bool{},
+		ptsVR:     map[ptsKey]*valueResult{},
+		ptsInProg: map[ptsKey]bool{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	for _, loc := range cl.Stmts {
+		op := p.Node(loc).Stmt.Op
+		if op == ir.OpAssumeEq || op == ir.OpAssumeNeq {
+			e.hasAssumes = true
+			break
+		}
+	}
+	e.computeModStar()
+	return e
+}
+
+// Cluster returns the cluster this engine analyzes.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Exhausted reports whether the work budget was exceeded; results obtained
+// afterwards are partial.
+func (e *Engine) Exhausted() bool { return e.over }
+
+// charge consumes budget for one worklist tuple; reports false when the
+// budget is gone.
+func (e *Engine) charge() bool {
+	e.TuplesProcessed++
+	if e.budget == 0 {
+		return true
+	}
+	e.spent++
+	if e.spent > e.budget {
+		e.over = true
+		return false
+	}
+	return true
+}
+
+// computeModStar computes, per function, the V_P variables the function
+// may modify directly or via callees. Only functions with a non-empty set
+// ever need summaries — the locality the paper exploits: "the need for
+// computing summaries for functions that don't modify any pointers in the
+// given cluster ... typically accounts for the majority of the functions".
+func (e *Engine) computeModStar() {
+	direct := map[ir.FuncID]map[ir.VarID]bool{}
+	addMod := func(f ir.FuncID, v ir.VarID) {
+		if !e.cl.HasVar(v) {
+			return
+		}
+		m := direct[f]
+		if m == nil {
+			m = map[ir.VarID]bool{}
+			direct[f] = m
+		}
+		m[v] = true
+	}
+	for _, loc := range e.cl.Stmts {
+		n := e.prog.Node(loc)
+		switch n.Stmt.Op {
+		case ir.OpCopy, ir.OpAddr, ir.OpLoad, ir.OpNullify:
+			addMod(n.Fn, n.Stmt.Dst)
+		case ir.OpStore:
+			// A store may modify any V_P object in the written class.
+			for _, o := range e.sa.PointsToVars(n.Stmt.Dst) {
+				addMod(n.Fn, o)
+			}
+		}
+	}
+	// Close over callees, SCC by SCC in reverse topological order; within
+	// an SCC iterate to fixpoint.
+	e.modStar = map[ir.FuncID]map[ir.VarID]bool{}
+	for f, m := range direct {
+		cp := map[ir.VarID]bool{}
+		for v := range m {
+			cp[v] = true
+		}
+		e.modStar[f] = cp
+	}
+	for _, scc := range e.cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				for _, g := range e.cg.Callees(f) {
+					for v := range e.modStar[g] {
+						m := e.modStar[f]
+						if m == nil {
+							m = map[ir.VarID]bool{}
+							e.modStar[f] = m
+						}
+						if !m[v] {
+							m[v] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Modifies reports whether f may (transitively) modify v ∈ V_P.
+func (e *Engine) Modifies(f ir.FuncID, v ir.VarID) bool { return e.modStar[f][v] }
+
+// SummaryFuncs returns the functions that need summaries for this cluster
+// (non-empty modStar), sorted.
+func (e *Engine) SummaryFuncs() []ir.FuncID {
+	var out []ir.FuncID
+	for f, m := range e.modStar {
+		if len(m) > 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Summary returns the summary tuples for ptr at the exit of f: the local
+// maximally complete update sequences from each source to ptr leading from
+// f's entry to its exit (Definition 8). Results are memoized; recursion is
+// resolved by iterating the involved summaries to a fixpoint (the paper's
+// SCC treatment in Algorithm 5).
+func (e *Engine) Summary(f ir.FuncID, ptr ir.VarID) []SumTuple {
+	key := sumKey{f: f, ptr: ptr}
+	if !e.done[key] {
+		e.fixpoint(key)
+	}
+	return tupleList(e.sums[key])
+}
+
+// fixpoint computes key and every summary it transitively requests,
+// iterating until no tuple set grows. Tuple sets are monotone (finite
+// token × widened-condition space), so this terminates.
+func (e *Engine) fixpoint(root sumKey) {
+	pending := map[sumKey]bool{root: true}
+	for changed := true; changed && !e.over; {
+		changed = false
+		before := len(pending)
+		keys := make([]sumKey, 0, len(pending))
+		for k := range pending {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].f != keys[j].f {
+				return keys[i].f < keys[j].f
+			}
+			return keys[i].ptr < keys[j].ptr
+		})
+		for _, k := range keys {
+			out := e.computeExitSummary(k, pending)
+			cur := e.sums[k]
+			if cur == nil {
+				cur = map[string]SumTuple{}
+				e.sums[k] = cur
+			}
+			for tk, tup := range out {
+				if _, ok := cur[tk]; !ok {
+					cur[tk] = tup
+					changed = true
+				}
+			}
+		}
+		// Newly discovered callee summaries must be computed before the
+		// fixpoint may terminate, even when no tuple set grew this round.
+		if len(pending) > before {
+			changed = true
+		}
+	}
+	for k := range pending {
+		e.done[k] = true
+	}
+	e.SummariesBuilt = len(e.done)
+}
+
+// computeExitSummary runs the backward walk for one (function, pointer)
+// pair from the function's exit. Callee summaries that are not final are
+// read as-is and the callee key joins pending, to be iterated by fixpoint.
+func (e *Engine) computeExitSummary(k sumKey, pending map[sumKey]bool) map[string]SumTuple {
+	f := e.prog.Func(k.f)
+	lookup := func(g ir.FuncID, ptr ir.VarID) map[string]SumTuple {
+		gk := sumKey{f: g, ptr: ptr}
+		if !e.done[gk] {
+			pending[gk] = true
+		}
+		return e.sums[gk]
+	}
+	return e.walkBack(k.f, VarTok(k.ptr), e.prog.Node(f.Exit).Preds, lookup)
+}
+
+// summaryLookup is the default lookup for walks outside the fixpoint: it
+// computes callee summaries fully on demand.
+func (e *Engine) summaryLookup(g ir.FuncID, ptr ir.VarID) map[string]SumTuple {
+	key := sumKey{f: g, ptr: ptr}
+	if !e.done[key] {
+		e.fixpoint(key)
+	}
+	return e.sums[key]
+}
+
+// SummaryAt returns the summary tuples for ptr at an arbitrary location of
+// its function: the sources of maximally complete update sequences from
+// the function's entry to loc.
+func (e *Engine) SummaryAt(loc ir.Loc, ptr ir.VarID) []SumTuple {
+	n := e.prog.Node(loc)
+	out := e.walkBack(n.Fn, VarTok(ptr), n.Preds, e.summaryLookup)
+	return tupleList(out)
+}
+
+func tupleList(m map[string]SumTuple) []SumTuple {
+	out := make([]SumTuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}

@@ -1,0 +1,906 @@
+package fscs
+
+import (
+	"testing"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+)
+
+// harness bundles everything an FSCS engine needs for one test program.
+type harness struct {
+	prog *ir.Program
+	sa   *steens.Analysis
+	aa   *andersen.Analysis
+	cg   *callgraph.Graph
+}
+
+func newHarness(t *testing.T, src string) *harness {
+	t.Helper()
+	p, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	sa := steens.Analyze(p)
+	if frontend.HasIndirectCalls(p) {
+		if err := frontend.Devirtualize(p, func(_ ir.Loc, fp ir.VarID) []ir.FuncID {
+			return sa.Targets(fp)
+		}); err != nil {
+			t.Fatalf("devirtualize: %v", err)
+		}
+		sa = steens.Analyze(p)
+	}
+	return &harness{
+		prog: p,
+		sa:   sa,
+		aa:   andersen.Analyze(p),
+		cg:   callgraph.Build(p),
+	}
+}
+
+// engineFor builds an engine over the whole-program cluster (simplest for
+// correctness tests; clustered equivalence is tested separately).
+func (h *harness) engineFor(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	whole := cluster.BuildWhole(h.prog, h.sa)
+	opts = append([]Option{WithFallback(h.aa)}, opts...)
+	return NewEngine(h.prog, h.cg, h.sa, whole, opts...)
+}
+
+func (h *harness) v(t *testing.T, name string) ir.VarID {
+	t.Helper()
+	id, ok := h.prog.VarByName[name]
+	if !ok {
+		t.Fatalf("no variable %q", name)
+	}
+	return id
+}
+
+// exitOf returns the exit location of a function.
+func (h *harness) exitOf(name string) ir.Loc {
+	return h.prog.Func(h.prog.FuncByName[name]).Exit
+}
+
+// callSites returns the call nodes invoking callee, in location order.
+func (h *harness) callSites(callee string) []ir.Loc {
+	var out []ir.Loc
+	want := h.prog.FuncByName[callee]
+	for _, n := range h.prog.Nodes {
+		if n.Stmt.Op == ir.OpCall && n.Stmt.Callee == want {
+			out = append(out, n.Loc)
+		}
+	}
+	return out
+}
+
+func valueNames(h *harness, e *Engine, p ir.VarID, loc ir.Loc) map[string]bool {
+	objs, _ := e.Values(p, loc)
+	out := map[string]bool{}
+	for _, o := range objs {
+		out[h.prog.VarName(o)] = true
+	}
+	return out
+}
+
+// TestFlowSensitiveKill is the headline precision property: a later
+// assignment kills an earlier one on a straight line, which Andersen's
+// flow-insensitive analysis cannot see.
+func TestFlowSensitiveKill(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *x;
+		void main() {
+			x = &a;
+			x = &b;
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "x"), h.exitOf("main"))
+	if !vals["b"] {
+		t.Errorf("Values(x) = %v, want b", vals)
+	}
+	if vals["a"] {
+		t.Errorf("Values(x) = %v: flow-sensitive analysis must kill &a", vals)
+	}
+	// Andersen keeps both — the precision gap the paper motivates.
+	if got := len(h.aa.PointsTo(h.v(t, "x"))); got != 2 {
+		t.Errorf("Andersen pts(x) size = %d, want 2", got)
+	}
+}
+
+func TestNullKill(t *testing.T) {
+	h := newHarness(t, `
+		int a;
+		int *x;
+		void main() {
+			x = &a;
+			x = null;
+		}
+	`)
+	e := h.engineFor(t)
+	objs, precise := e.Values(h.v(t, "x"), h.exitOf("main"))
+	if !precise {
+		t.Error("straight-line program should be precise")
+	}
+	if len(objs) != 0 {
+		t.Errorf("Values(x) = %v, want empty after null kill", objs)
+	}
+}
+
+func TestBranchesMerge(t *testing.T) {
+	h := newHarness(t, `
+		int a, b, c;
+		int *x;
+		void main() {
+			x = &c;
+			if (*) { x = &a; } else { x = &b; }
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "x"), h.exitOf("main"))
+	if !vals["a"] || !vals["b"] {
+		t.Errorf("Values(x) = %v, want a and b", vals)
+	}
+	if vals["c"] {
+		t.Errorf("Values(x) = %v: both branches kill &c", vals)
+	}
+}
+
+func TestPartialKillInBranch(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *x;
+		void main() {
+			x = &a;
+			if (*) { x = &b; }
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "x"), h.exitOf("main"))
+	if !vals["a"] || !vals["b"] {
+		t.Errorf("Values(x) = %v, want both a (else-path) and b (then-path)", vals)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *x, *y;
+		void main() {
+			x = &a;
+			y = &b;
+			while (*) {
+				x = y;
+				y = x;
+			}
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "x"), h.exitOf("main"))
+	if !vals["a"] || !vals["b"] {
+		t.Errorf("Values(x) = %v, want a and b through the loop", vals)
+	}
+}
+
+func TestCopyChain(t *testing.T) {
+	h := newHarness(t, `
+		int a;
+		int *p, *q, *r;
+		void main() {
+			p = &a;
+			q = p;
+			r = q;
+		}
+	`)
+	e := h.engineFor(t)
+	exit := h.exitOf("main")
+	for _, name := range []string{"p", "q", "r"} {
+		vals := valueNames(h, e, h.v(t, name), exit)
+		if !vals["a"] || len(vals) != 1 {
+			t.Errorf("Values(%s) = %v, want exactly {a}", name, vals)
+		}
+	}
+	if !e.MayAlias(h.v(t, "p"), h.v(t, "r"), exit) {
+		t.Error("p and r must alias")
+	}
+	aliases := e.Aliases(h.v(t, "p"), exit)
+	got := map[string]bool{}
+	for _, q := range aliases {
+		got[h.prog.VarName(q)] = true
+	}
+	if !got["q"] || !got["r"] {
+		t.Errorf("Aliases(p) = %v, want q and r", got)
+	}
+}
+
+func TestLoadStoreFlowSensitive(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *x, *l;
+		int **px;
+		void main() {
+			x = &a;
+			px = &x;
+			*px = &b;
+			l = *px;
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "l"), h.exitOf("main"))
+	if !vals["b"] {
+		t.Errorf("Values(l) = %v, want b", vals)
+	}
+	if vals["a"] {
+		t.Errorf("Values(l) = %v: the store *px = &b kills x = &a", vals)
+	}
+}
+
+// TestFigure4MaximalCompletion reproduces Figure 4: with
+//
+//	1a: b = c;  2a: x = &a;  3a: y = &b;  4a: *x = b;
+//
+// the sequence [4a] alone is a complete update sequence from b to a, but
+// its maximal completion is [1a, 4a] — from c to a. The summary for a at
+// main's exit must therefore have a source tuple rooted at c.
+func TestFigure4MaximalCompletion(t *testing.T) {
+	h := newHarness(t, `
+		int *a, *b, *c;
+		int **x, **y;
+		void main() {
+			b = c;
+			x = &a;
+			y = &b;
+			*x = b;
+		}
+	`)
+	e := h.engineFor(t)
+	tuples := e.SummaryAt(h.exitOf("main"), h.v(t, "a"))
+	foundC := false
+	for _, tup := range tuples {
+		if tup.Src.Kind == TVar && h.prog.VarName(tup.Src.V) == "c" {
+			foundC = true
+		}
+		if tup.Src.Kind == TVar && h.prog.VarName(tup.Src.V) == "b" {
+			t.Errorf("summary source b is not maximal — should extend through 1a: b = c; got %s", tup.Format(h.prog))
+		}
+	}
+	if !foundC {
+		t.Errorf("no summary tuple rooted at c; got %d tuples", len(tuples))
+		for _, tup := range tuples {
+			t.Logf("  %s", tup.Format(h.prog))
+		}
+	}
+}
+
+// figure5Src reconstructs Figure 5's program: partitions P1 = {x,u,w,z}
+// and P2-level data; foo's only effect on P1 is x = w.
+const figure5Src = `
+	int **x, **u, **w, **z;
+	int *d;
+	int *c;
+	int *a, *b;
+	void foo() {
+		*x = d;
+		a = b;
+		x = w;
+	}
+	void bar() {
+		*x = d;
+		a = b;
+	}
+	void main() {
+		x = &c;
+		w = u;
+		foo();
+		z = x;
+		*z = b;
+		bar();
+	}
+`
+
+// TestFigure5FooSummary checks the paper's worked example: the local
+// maximally complete update sequence for x at foo's exit is x = w,
+// represented by the tuple (x, 3b, w, true).
+func TestFigure5FooSummary(t *testing.T) {
+	h := newHarness(t, figure5Src)
+	e := h.engineFor(t)
+	foo := h.prog.FuncByName["foo"]
+	tuples := e.Summary(foo, h.v(t, "x"))
+	if len(tuples) != 1 {
+		t.Fatalf("Summary(foo, x) = %d tuples, want exactly 1; got %v", len(tuples), tuples)
+	}
+	tup := tuples[0]
+	if tup.Src.Kind != TVar || h.prog.VarName(tup.Src.V) != "w" || !tup.Cond.IsTrue() {
+		t.Errorf("Summary(foo, x) = %s, want (src=w, cond=true)", tup.Format(h.prog))
+	}
+}
+
+// TestFigure5BarIrrelevant: none of bar's statements can modify aliases of
+// P1 = {x,u,w,z}, so no summaries are needed for bar — the locality the
+// paper's summarization exploits.
+func TestFigure5BarIrrelevant(t *testing.T) {
+	h := newHarness(t, figure5Src)
+	e := h.engineFor(t)
+	bar := h.prog.FuncByName["bar"]
+	for _, name := range []string{"x", "u", "w", "z"} {
+		if e.Modifies(bar, h.v(t, name)) {
+			t.Errorf("bar must not modify %s", name)
+		}
+	}
+	foo := h.prog.FuncByName["foo"]
+	if !e.Modifies(foo, h.v(t, "x")) {
+		t.Error("foo modifies x via x = w")
+	}
+}
+
+// TestFigure5MainSummary checks the spliced tuple (z, 6a, u, true): the
+// maximally complete update sequence for z at main's exit is
+// w = u, [x = w], z = x.
+func TestFigure5MainSummary(t *testing.T) {
+	h := newHarness(t, figure5Src)
+	e := h.engineFor(t)
+	tuples := e.SummaryAt(h.exitOf("main"), h.v(t, "z"))
+	if len(tuples) != 1 {
+		t.Fatalf("SummaryAt(main exit, z) = %d tuples, want 1: %v", len(tuples), tuples)
+	}
+	tup := tuples[0]
+	if tup.Src.Kind != TVar || h.prog.VarName(tup.Src.V) != "u" || !tup.Cond.IsTrue() {
+		t.Errorf("got %s, want (src=u, cond=true)", tup.Format(h.prog))
+	}
+}
+
+// TestConditionalTuples reproduces the paper's constrained-summary
+// behaviour (the (a, 2c, d, x->b) / (a, 2c, b, x-/>b) pair): when a store
+// through x may or may not hit the tracked pointer, both outcomes are
+// summarized under complementary points-to constraints.
+func TestConditionalTuples(t *testing.T) {
+	h := newHarness(t, `
+		int o1, o2;
+		int *a, *b, *d;
+		int **x;
+		void main() {
+			d = &o1;
+			b = &o2;
+			if (*) { x = &a; } else { x = &b; }
+			*x = d;
+			a = b;
+		}
+	`)
+	e := h.engineFor(t)
+	// After a = b, a's value is b's: either d's value (if x pointed at b
+	// when *x = d ran) or &o2.
+	vals := valueNames(h, e, h.v(t, "a"), h.exitOf("main"))
+	if !vals["o1"] || !vals["o2"] {
+		t.Errorf("Values(a) = %v, want o1 (via x->b) and o2 (via x-/>b)", vals)
+	}
+	// The summary tuples carry complementary constraints on x.
+	tuples := e.SummaryAt(h.exitOf("main"), h.v(t, "a"))
+	var sawPointsTo, sawNotPointsTo bool
+	for _, tup := range tuples {
+		for _, at := range tup.Cond.Atoms() {
+			if h.prog.VarName(at.X) == "x" && h.prog.VarName(at.Y) == "b" {
+				switch at.Op {
+				case OpPointsTo:
+					sawPointsTo = true
+				case OpNotPointsTo:
+					sawNotPointsTo = true
+				}
+			}
+		}
+	}
+	if !sawPointsTo || !sawNotPointsTo {
+		t.Errorf("expected complementary constraints on x->b; tuples:")
+		for _, tup := range tuples {
+			t.Logf("  %s", tup.Format(h.prog))
+		}
+	}
+}
+
+func TestInterproceduralValues(t *testing.T) {
+	h := newHarness(t, `
+		int a;
+		int *g;
+		void set() { g = &a; }
+		void main() { set(); }
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "g"), h.exitOf("main"))
+	if !vals["a"] || len(vals) != 1 {
+		t.Errorf("Values(g) = %v, want exactly {a}", vals)
+	}
+}
+
+func TestCallKillsPrecisely(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *g;
+		void clobber() { g = &b; }
+		void keep() { }
+		void main() {
+			g = &a;
+			keep();
+			clobber();
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "g"), h.exitOf("main"))
+	if !vals["b"] {
+		t.Errorf("Values(g) = %v, want b", vals)
+	}
+	if vals["a"] {
+		t.Errorf("Values(g) = %v: clobber() always overwrites g", vals)
+	}
+}
+
+func TestParameterBinding(t *testing.T) {
+	h := newHarness(t, `
+		int a1, a2;
+		int *g;
+		void set(int *v) { g = v; }
+		void main() {
+			set(&a1);
+			set(&a2);
+		}
+	`)
+	e := h.engineFor(t)
+	// FSCI: both call sites contribute at set's exit.
+	setExit := h.exitOf("set")
+	vals := valueNames(h, e, h.v(t, "g"), setExit)
+	if !vals["a1"] || !vals["a2"] {
+		t.Errorf("FSCI Values(g at set exit) = %v, want a1 and a2", vals)
+	}
+	// At main's exit, the last call wins.
+	mvals := valueNames(h, e, h.v(t, "g"), h.exitOf("main"))
+	if !mvals["a2"] {
+		t.Errorf("Values(g at main exit) = %v, want a2", mvals)
+	}
+	if mvals["a1"] {
+		t.Errorf("Values(g at main exit) = %v: second set() kills a1", mvals)
+	}
+}
+
+func TestContextSensitiveValues(t *testing.T) {
+	h := newHarness(t, `
+		int a1, a2;
+		int *g;
+		void set(int *v) { g = v; }
+		void main() {
+			set(&a1);
+			set(&a2);
+		}
+	`)
+	e := h.engineFor(t)
+	sites := h.callSites("set")
+	if len(sites) != 2 {
+		t.Fatalf("found %d call sites, want 2", len(sites))
+	}
+	setExit := h.exitOf("set")
+	for i, want := range []string{"a1", "a2"} {
+		objs, precise, err := e.ValuesInContext(h.v(t, "g"), setExit, Context{sites[i]})
+		if err != nil {
+			t.Fatalf("ValuesInContext: %v", err)
+		}
+		if !precise {
+			t.Errorf("context %d: expected precise result", i)
+		}
+		names := map[string]bool{}
+		for _, o := range objs {
+			names[h.prog.VarName(o)] = true
+		}
+		if !names[want] || len(names) != 1 {
+			t.Errorf("context %d: Values = %v, want exactly {%s}", i, names, want)
+		}
+	}
+	// Invalid context is rejected.
+	if _, _, err := e.ValuesInContext(h.v(t, "g"), setExit, Context{}); err == nil {
+		t.Error("empty context for a non-entry location should be rejected")
+	}
+}
+
+func TestRecursionFixpoint(t *testing.T) {
+	h := newHarness(t, `
+		int a;
+		int *g;
+		void rec(int *v) {
+			if (*) { rec(v); }
+			g = v;
+		}
+		void main() { rec(&a); }
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "g"), h.exitOf("main"))
+	if !vals["a"] || len(vals) != 1 {
+		t.Errorf("Values(g) = %v, want exactly {a} through recursion", vals)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *g;
+		void ping(int *v) { if (*) { pong(&b); } g = v; }
+		void pong(int *v) { if (*) { ping(v); } }
+		void main() { ping(&a); }
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "g"), h.exitOf("main"))
+	if !vals["a"] || !vals["b"] {
+		t.Errorf("Values(g) = %v, want a and b through mutual recursion", vals)
+	}
+}
+
+func TestMustAlias(t *testing.T) {
+	h := newHarness(t, `
+		lock m, m2;
+		lock *l1, *l2, *l3;
+		void main() {
+			l1 = &m;
+			l2 = l1;
+			l3 = &m;
+			if (*) { l3 = &m2; }
+		}
+	`)
+	e := h.engineFor(t)
+	exit := h.exitOf("main")
+	if !e.MustAlias(h.v(t, "l1"), h.v(t, "l2"), exit) {
+		t.Error("l1 and l2 must alias (straight-line copy)")
+	}
+	if e.MustAlias(h.v(t, "l1"), h.v(t, "l3"), exit) {
+		t.Error("l1/l3 only may-alias (branch)")
+	}
+	if !e.MayAlias(h.v(t, "l1"), h.v(t, "l3"), exit) {
+		t.Error("l1 and l3 may alias")
+	}
+}
+
+func TestHeapAndFree(t *testing.T) {
+	h := newHarness(t, `
+		void main() {
+			int *p, *q;
+			p = malloc;
+			q = p;
+			free(p);
+		}
+	`)
+	e := h.engineFor(t)
+	exit := h.exitOf("main")
+	pv, _ := e.Values(h.v(t, "main.p"), exit)
+	if len(pv) != 0 {
+		t.Errorf("after free, Values(p) = %v, want empty", pv)
+	}
+	qv := valueNames(h, e, h.v(t, "main.q"), exit)
+	if len(qv) != 1 {
+		t.Errorf("Values(q) = %v, want the allocation site", qv)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *x, *y;
+		void f1() { x = y; }
+		void main() {
+			x = &a;
+			y = &b;
+			while (*) { f1(); y = x; }
+		}
+	`)
+	whole := cluster.BuildWhole(h.prog, h.sa)
+	e := NewEngine(h.prog, h.cg, h.sa, whole, WithBudget(3))
+	if err := e.Run(); err != ErrBudget {
+		t.Errorf("Run with tiny budget = %v, want ErrBudget", err)
+	}
+	if !e.Exhausted() {
+		t.Error("Exhausted should report true")
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	h := newHarness(t, figure5Src)
+	e := h.engineFor(t)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.TuplesProcessed == 0 {
+		t.Error("Run should process tuples")
+	}
+	if len(e.SummaryFuncs()) == 0 {
+		t.Error("Run should identify summary functions")
+	}
+}
+
+func TestFunctionPointersViaDevirtualization(t *testing.T) {
+	h := newHarness(t, `
+		int a, b;
+		int *g;
+		void *fp;
+		void setA() { g = &a; }
+		void setB() { g = &b; }
+		void main() {
+			if (*) { fp = &setA; } else { fp = &setB; }
+			(*fp)();
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "g"), h.exitOf("main"))
+	if !vals["a"] || !vals["b"] {
+		t.Errorf("Values(g) = %v, want a and b via devirtualized call", vals)
+	}
+}
+
+func TestClusteredEqualsMonolithic(t *testing.T) {
+	src := `
+		int a, b, c;
+		int *x, *y, *p;
+		int **px;
+		void swap() { int *t; t = x; x = y; y = t; }
+		void main() {
+			x = &a;
+			y = &b;
+			p = &c;
+			px = &x;
+			swap();
+			*px = p;
+		}
+	`
+	h := newHarness(t, src)
+	whole := cluster.BuildWhole(h.prog, h.sa)
+	mono := NewEngine(h.prog, h.cg, h.sa, whole, WithFallback(h.aa))
+	covers := cluster.BuildSteensgaard(h.prog, h.sa)
+	exit := h.exitOf("main")
+	// For every pointer, union of per-cluster aliases == monolithic
+	// aliases (Theorem 6).
+	for _, name := range []string{"x", "y", "p"} {
+		pv := h.v(t, name)
+		monoAliases := map[ir.VarID]bool{}
+		for _, q := range mono.Aliases(pv, exit) {
+			if h.prog.VarName(q)[0] != 'm' { // skip temps (main.$tN)
+				monoAliases[q] = true
+			}
+		}
+		clustered := map[ir.VarID]bool{}
+		for _, c := range covers {
+			if !c.HasPointer(pv) {
+				continue
+			}
+			eng := NewEngine(h.prog, h.cg, h.sa, c, WithFallback(h.aa))
+			for _, q := range eng.Aliases(pv, exit) {
+				if h.prog.VarName(q)[0] != 'm' {
+					clustered[q] = true
+				}
+			}
+		}
+		for q := range monoAliases {
+			if !clustered[q] {
+				t.Errorf("%s: monolithic alias %s missing from clustered result", name, h.prog.VarName(q))
+			}
+		}
+		for q := range clustered {
+			if !monoAliases[q] {
+				t.Errorf("%s: clustered result has extra alias %s", name, h.prog.VarName(q))
+			}
+		}
+	}
+}
+
+// TestPathSensitivityEqRefuted: the then-arm of `if (x == y)` is
+// infeasible when x and y provably never share a target, so values flowing
+// through it are weeded out (Section 3's path-sensitivity option).
+func TestPathSensitivityEqRefuted(t *testing.T) {
+	h := newHarness(t, `
+		int a, b, c;
+		int *x, *y, *w;
+		void main() {
+			x = &a;
+			y = &b;
+			w = &c;
+			if (x == y) { w = x; }
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "w"), h.exitOf("main"))
+	if vals["a"] {
+		t.Errorf("Values(w) = %v: the x==y arm is infeasible (pts disjoint)", vals)
+	}
+	if !vals["c"] {
+		t.Errorf("Values(w) = %v, want c from the fall-through path", vals)
+	}
+}
+
+// TestPathSensitivityNeqRefuted: the then-arm of `if (x != y)` is
+// infeasible when both must point to the same single object.
+func TestPathSensitivityNeqRefuted(t *testing.T) {
+	h := newHarness(t, `
+		int a, c;
+		int *x, *y, *w;
+		void main() {
+			x = &a;
+			y = x;
+			w = &c;
+			if (x != y) { w = x; }
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "w"), h.exitOf("main"))
+	if vals["a"] {
+		t.Errorf("Values(w) = %v: the x!=y arm is infeasible (must-equal)", vals)
+	}
+	if !vals["c"] {
+		t.Errorf("Values(w) = %v, want c", vals)
+	}
+}
+
+// TestPathSensitivityFeasibleArmKept: when the test is genuinely
+// uncertain, both arms contribute.
+func TestPathSensitivityFeasibleArmKept(t *testing.T) {
+	h := newHarness(t, `
+		int a, b, c;
+		int *x, *y, *w;
+		void main() {
+			x = &a;
+			if (*) { y = &a; } else { y = &b; }
+			w = &c;
+			if (x == y) { w = x; }
+		}
+	`)
+	e := h.engineFor(t)
+	vals := valueNames(h, e, h.v(t, "w"), h.exitOf("main"))
+	if !vals["a"] || !vals["c"] {
+		t.Errorf("Values(w) = %v, want both a (feasible x==y arm) and c", vals)
+	}
+}
+
+// TestAndersenClusterEngine runs the engine on a genuine Andersen cluster
+// (not the whole program) and checks its answers match the monolithic
+// engine for the cluster's pointers (Theorem 7 in action).
+func TestAndersenClusterEngine(t *testing.T) {
+	src := `
+		int a0, a1, a2;
+		int *p0, *p1, *p2, *q;
+		void main() {
+			p0 = &a0; p1 = &a1; p2 = &a2;
+			q = p0; q = p1; q = p2;
+		}
+	`
+	h := newHarness(t, src)
+	covers := cluster.BuildAndersen(h.prog, h.sa, 2)
+	mono := h.engineFor(t)
+	exit := h.exitOf("main")
+	ran := 0
+	for _, c := range covers {
+		if c.Kind != cluster.KindAndersen {
+			continue
+		}
+		ran++
+		eng := NewEngine(h.prog, h.cg, h.sa, c, WithFallback(h.aa))
+		for _, p := range c.Pointers {
+			for _, q := range c.Pointers {
+				if p == q {
+					continue
+				}
+				got := eng.MayAlias(p, q, exit)
+				want := mono.MayAlias(p, q, exit)
+				if got != want {
+					t.Errorf("cluster %v: MayAlias(%s,%s) = %v, monolithic %v",
+						c, h.prog.VarName(p), h.prog.VarName(q), got, want)
+				}
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no Andersen clusters were exercised")
+	}
+}
+
+// TestMaxCondWidening: with a tiny constraint budget the analysis still
+// terminates and stays sound (conditions widen to true).
+func TestMaxCondWidening(t *testing.T) {
+	src := `
+		int a, b;
+		int *x, *y;
+		int **p1, **p2, **p3;
+		void main() {
+			x = &a;
+			y = &b;
+			p1 = &x; p2 = &x; p3 = &x;
+			if (*) { p1 = &y; }
+			if (*) { p2 = &y; }
+			if (*) { p3 = &y; }
+			*p1 = x;
+			*p2 = y;
+			*p3 = x;
+		}
+	`
+	h := newHarness(t, src)
+	wide := h.engineFor(t, WithMaxCond(1))
+	norm := h.engineFor(t, WithMaxCond(8))
+	exit := h.exitOf("main")
+	// Widening may only ADD possible values, never remove them.
+	for _, name := range []string{"x", "y"} {
+		vv := h.v(t, name)
+		normObjs, _ := norm.Values(vv, exit)
+		wideObjs, okWide := wide.Values(vv, exit)
+		if !okWide {
+			continue
+		}
+		wideSet := map[ir.VarID]bool{}
+		for _, o := range wideObjs {
+			wideSet[o] = true
+		}
+		for _, o := range normObjs {
+			if !wideSet[o] {
+				t.Errorf("widened engine lost value %s of %s", h.prog.VarName(o), name)
+			}
+		}
+	}
+}
+
+func TestValidateContextErrors(t *testing.T) {
+	h := newHarness(t, `
+		int *g;
+		void callee() { g = null; }
+		void main() { callee(); }
+	`)
+	e := h.engineFor(t)
+	calleeExit := h.exitOf("callee")
+	// Wrong-function location for an empty context.
+	if err := e.ValidateContext(Context{}, calleeExit); err == nil {
+		t.Error("empty context must end in the entry function")
+	}
+	// A non-call location in the context.
+	notCall := h.prog.Func(h.prog.Entry).Entry
+	if err := e.ValidateContext(Context{notCall}, calleeExit); err == nil {
+		t.Error("non-call context element should be rejected")
+	}
+	// A call in the wrong function.
+	sites := h.callSites("callee")
+	if len(sites) != 1 {
+		t.Fatal("expected one call site")
+	}
+	if err := e.ValidateContext(Context{sites[0], sites[0]}, calleeExit); err == nil {
+		t.Error("context element in the wrong function should be rejected")
+	}
+	// Valid context passes.
+	if err := e.ValidateContext(Context{sites[0]}, calleeExit); err != nil {
+		t.Errorf("valid context rejected: %v", err)
+	}
+}
+
+func TestSummaryFuncsAndModifies(t *testing.T) {
+	h := newHarness(t, figure5Src)
+	e := h.engineFor(t)
+	names := map[string]bool{}
+	for _, f := range e.SummaryFuncs() {
+		names[h.prog.Func(f).Name] = true
+	}
+	// Every function here touches some pointer of the whole-program
+	// cluster; the set must at least contain foo and main.
+	if !names["foo"] || !names["main"] {
+		t.Errorf("SummaryFuncs = %v, want foo and main", names)
+	}
+}
+
+func TestValueStateFlags(t *testing.T) {
+	h := newHarness(t, `
+		int a;
+		int *x;
+		void main() {
+			if (*) { x = &a; } else { x = null; }
+		}
+	`)
+	e := h.engineFor(t)
+	st := e.ValueState(h.v(t, "x"), h.exitOf("main"))
+	if !st.Null {
+		t.Error("ValueState should flag the null path")
+	}
+	if len(st.Objs) != 1 || h.prog.VarName(st.Objs[0]) != "a" {
+		t.Errorf("ValueState objs = %v", st.Objs)
+	}
+	if st.Unknown {
+		t.Error("simple program should be precise")
+	}
+}

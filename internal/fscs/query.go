@@ -1,0 +1,474 @@
+package fscs
+
+import (
+	"fmt"
+	"sort"
+
+	"bootstrap/internal/ir"
+)
+
+// valueResult aggregates the resolved sources of a pointer at a location.
+type valueResult struct {
+	objs    map[ir.VarID]bool
+	null    bool // some path leaves the pointer null
+	uninit  bool // some path reaches the program entry unassigned
+	unknown bool // some path lost precision
+}
+
+func (vr *valueResult) sortedObjs() []ir.VarID {
+	out := make([]ir.VarID, 0, len(vr.objs))
+	for o := range vr.objs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// collectValues computes the flow-sensitive context-insensitive value set
+// of ptr at the given start (the paper's Algorithm 3 "computation of A"):
+// a backward walk inside the function, with TVar sources at the entry
+// propagated into every caller at every call site, context-insensitively,
+// until only terminated sources remain.
+func (e *Engine) collectValues(f ir.FuncID, ptr ir.VarID, startLocs []ir.Loc) *valueResult {
+	vr := &valueResult{objs: map[ir.VarID]bool{}}
+	type frame struct {
+		f     ir.FuncID
+		v     ir.VarID
+		start []ir.Loc
+	}
+	seen := map[string]bool{}
+	queue := []frame{{f: f, v: ptr, start: startLocs}}
+	key := func(fr frame) string {
+		k := fmt.Sprintf("%d|%d", fr.f, fr.v)
+		for _, l := range fr.start {
+			k += fmt.Sprintf("|%d", l)
+		}
+		return k
+	}
+	seen[key(queue[0])] = true
+
+	for len(queue) > 0 {
+		fr := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		tuples := e.walkBack(fr.f, VarTok(fr.v), fr.start, e.summaryLookup)
+		for _, tup := range tuples {
+			if !e.satisfiable(tup.Cond) {
+				continue
+			}
+			switch tup.Src.Kind {
+			case TAddr:
+				vr.objs[tup.Src.V] = true
+			case TNull:
+				vr.null = true
+			case TUnknown:
+				vr.unknown = true
+			case TVar:
+				// Source is the value of a variable at fr.f's entry.
+				if fr.f == e.prog.Entry {
+					vr.uninit = true
+					continue
+				}
+				callers := e.cg.Callers(fr.f)
+				if len(callers) == 0 {
+					vr.uninit = true // unreachable function: treat as entry
+					continue
+				}
+				for _, g := range callers {
+					for _, cs := range e.cg.CallSitesIn(g, fr.f) {
+						nf := frame{f: g, v: tup.Src.V, start: e.prog.Node(cs).Preds}
+						if k := key(nf); !seen[k] {
+							seen[k] = true
+							queue = append(queue, nf)
+						}
+					}
+				}
+			}
+		}
+		if e.over {
+			vr.unknown = true
+			return vr
+		}
+	}
+	return vr
+}
+
+// satisfiable checks a tuple's points-to constraints against the FSCI
+// points-to sets, as Section 3 prescribes ("the satisfiability of cond can
+// be checked at the time of computing the frontier"). Unresolvable atoms
+// are assumed satisfiable, which is sound for may-aliasing.
+func (e *Engine) satisfiable(c Cond) bool {
+	for _, a := range c.Atoms() {
+		switch a.Op {
+		case OpPointsTo:
+			pt, known := e.PointsToAt(a.X, a.Loc)
+			if !known {
+				continue
+			}
+			found := false
+			for _, o := range pt {
+				if o == a.Y {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		case OpSameTarget:
+			px, okx := e.PointsToAt(a.X, a.Loc)
+			py, oky := e.PointsToAt(a.Y, a.Loc)
+			if okx && oky && len(px) > 0 && len(py) > 0 && !intersects(px, py) {
+				return false
+			}
+		case OpNotPointsTo:
+			// Refutable only with must-information: when X definitely
+			// points to Y on every path, X ↛ Y is unsatisfiable.
+			if e.mustPointTo(a.X, a.Loc, a.Y) {
+				return false
+			}
+		case OpDiffTarget:
+			// Refutable only when both sides must-point-to the same
+			// single object.
+			px, okx := e.PointsToAt(a.X, a.Loc)
+			if okx && len(px) == 1 && e.mustPointTo(a.X, a.Loc, px[0]) && e.mustPointTo(a.Y, a.Loc, px[0]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func intersects(a, b []ir.VarID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// valuesAt returns the cached flow-sensitive context-insensitive value set
+// of v at loc. While the set is being computed (a cyclic dependency) it
+// returns a conservative unknown result.
+func (e *Engine) valuesAt(v ir.VarID, loc ir.Loc) *valueResult {
+	k := ptsKey{v: v, loc: loc}
+	if vr, ok := e.ptsVR[k]; ok {
+		return vr
+	}
+	if e.ptsInProg[k] {
+		return &valueResult{objs: map[ir.VarID]bool{}, unknown: true}
+	}
+	e.ptsInProg[k] = true
+	n := e.prog.Node(loc)
+	vr := e.collectValues(n.Fn, v, n.Preds)
+	delete(e.ptsInProg, k)
+	e.ptsVR[k] = vr
+	return vr
+}
+
+// PointsToAt returns the flow-sensitive context-insensitive points-to set
+// of v at loc (the objects v may reference when control is at loc), and
+// whether the set is precise. known is false while the set is being
+// computed (a cyclic dependency) or when some path lost precision — the
+// caller must then fall back conservatively.
+func (e *Engine) PointsToAt(v ir.VarID, loc ir.Loc) ([]ir.VarID, bool) {
+	vr := e.valuesAt(v, loc)
+	return vr.sortedObjs(), !vr.unknown
+}
+
+// mustPointTo reports whether v definitely references y at loc: the value
+// set is precise, definitely initialized and non-null, and contains
+// exactly y. This soundly refutes NotPointsTo constraints, matching the
+// paper's frontier-time satisfiability check.
+func (e *Engine) mustPointTo(v ir.VarID, loc ir.Loc, y ir.VarID) bool {
+	vr := e.valuesAt(v, loc)
+	if vr.unknown || vr.null || vr.uninit || len(vr.objs) != 1 {
+		return false
+	}
+	return vr.objs[y]
+}
+
+// Values returns the objects p may reference at loc under the FSCS
+// analysis, with precise=false when some path lost precision (callers
+// should then widen with a flow-insensitive fallback).
+func (e *Engine) Values(p ir.VarID, loc ir.Loc) ([]ir.VarID, bool) {
+	n := e.prog.Node(loc)
+	vr := e.collectValues(n.Fn, p, n.Preds)
+	return vr.sortedObjs(), !vr.unknown
+}
+
+// ValueState is the full resolution of a pointer's possible values at a
+// location, including the non-object outcomes client analyses care about
+// (e.g. the null-dereference checker).
+type ValueState struct {
+	Objs    []ir.VarID // objects p may reference
+	Null    bool       // some path leaves p null (incl. after free)
+	Uninit  bool       // some path reaches the entry with p unassigned
+	Unknown bool       // some path lost precision; Objs is incomplete
+}
+
+// ValueState resolves p's value set at loc with all outcome flags.
+func (e *Engine) ValueState(p ir.VarID, loc ir.Loc) ValueState {
+	n := e.prog.Node(loc)
+	vr := e.collectValues(n.Fn, p, n.Preds)
+	return ValueState{
+		Objs:    vr.sortedObjs(),
+		Null:    vr.null,
+		Uninit:  vr.uninit,
+		Unknown: vr.unknown,
+	}
+}
+
+// fallbackMayAlias is the flow-insensitive widening used when the precise
+// walk lost information.
+func (e *Engine) fallbackMayAlias(p, q ir.VarID) bool {
+	if e.fallback != nil {
+		return e.fallback.MayAlias(p, q)
+	}
+	return e.sa.SamePartition(p, q)
+}
+
+// MayAlias reports whether p and q may reference the same object at loc
+// (Theorem 5: they share a maximally-complete-update-sequence source).
+func (e *Engine) MayAlias(p, q ir.VarID, loc ir.Loc) bool {
+	if p == q {
+		return true
+	}
+	n := e.prog.Node(loc)
+	vp := e.collectValues(n.Fn, p, n.Preds)
+	vq := e.collectValues(n.Fn, q, n.Preds)
+	if vp.unknown || vq.unknown {
+		return e.fallbackMayAlias(p, q)
+	}
+	for o := range vp.objs {
+		if vq.objs[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// Aliases returns the cluster pointers that may alias p at loc, sorted.
+// Per Theorem 6/7 this is exactly Alias(p, St_P) for this cluster; the
+// program-wide alias set is the union over the clusters containing p.
+func (e *Engine) Aliases(p ir.VarID, loc ir.Loc) []ir.VarID {
+	var out []ir.VarID
+	for _, q := range e.cl.Pointers {
+		if q != p && e.MayAlias(p, q, loc) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// MustAlias conservatively reports whether p and q definitely reference
+// the same object at loc: both resolve precisely to the same single
+// object on every path, with no null, uninitialized or unknown source.
+// This is the predicate lockset-based race detection needs.
+func (e *Engine) MustAlias(p, q ir.VarID, loc ir.Loc) bool {
+	n := e.prog.Node(loc)
+	vp := e.collectValues(n.Fn, p, n.Preds)
+	vq := e.collectValues(n.Fn, q, n.Preds)
+	if p == q {
+		return !vp.unknown && !vp.null && !vp.uninit && len(vp.objs) > 0
+	}
+	if vp.unknown || vq.unknown || vp.null || vq.null || vp.uninit || vq.uninit {
+		return false
+	}
+	if len(vp.objs) != 1 || len(vq.objs) != 1 {
+		return false
+	}
+	return vp.sortedObjs()[0] == vq.sortedObjs()[0]
+}
+
+// Context is a call path from the program entry: the call-site locations
+// (OpCall nodes) leading, in order, from the entry function to the queried
+// function. An empty context means the query location is in the entry
+// function itself.
+type Context []ir.Loc
+
+// ValidateContext checks that ctx is a well-formed call path ending in the
+// function containing loc.
+func (e *Engine) ValidateContext(ctx Context, loc ir.Loc) error {
+	cur := e.prog.Entry
+	for i, cs := range ctx {
+		n := e.prog.Node(cs)
+		if n.Stmt.Op != ir.OpCall || n.Stmt.Callee == ir.NoFunc {
+			return fmt.Errorf("fscs: context[%d] = L%d is not a direct call", i, cs)
+		}
+		if n.Fn != cur {
+			return fmt.Errorf("fscs: context[%d] = L%d is in %s, want %s", i, cs,
+				e.prog.Func(n.Fn).Name, e.prog.Func(cur).Name)
+		}
+		cur = n.Stmt.Callee
+	}
+	if e.prog.Node(loc).Fn != cur {
+		return fmt.Errorf("fscs: location L%d is in %s but the context ends in %s",
+			loc, e.prog.Func(e.prog.Node(loc).Fn).Name, e.prog.Func(cur).Name)
+	}
+	return nil
+}
+
+// collectValuesInContext is the context-sensitive variant of
+// collectValues: a TVar source at the entry of the current function is
+// chased only through the given call path, splicing the local update
+// sequences of f1...fn in order (Section 3, "Computing Flow and
+// Context-Sensitive Aliases").
+func (e *Engine) collectValuesInContext(ptr ir.VarID, startLocs []ir.Loc, ctx Context) *valueResult {
+	vr := &valueResult{objs: map[ir.VarID]bool{}}
+	type frame struct {
+		v     ir.VarID
+		start []ir.Loc
+		depth int // index into ctx of the frame's own call site; -1 = entry
+	}
+	fnAt := func(depth int) ir.FuncID {
+		if depth < 0 {
+			return e.prog.Entry
+		}
+		return e.prog.Node(ctx[depth]).Stmt.Callee
+	}
+	seen := map[string]bool{}
+	queue := []frame{{v: ptr, start: startLocs, depth: len(ctx) - 1}}
+	for len(queue) > 0 {
+		fr := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		k := fmt.Sprintf("%d|%d|%v", fr.depth, fr.v, fr.start)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		tuples := e.walkBack(fnAt(fr.depth), VarTok(fr.v), fr.start, e.summaryLookup)
+		for _, tup := range tuples {
+			if !e.satisfiable(tup.Cond) {
+				continue
+			}
+			switch tup.Src.Kind {
+			case TAddr:
+				vr.objs[tup.Src.V] = true
+			case TNull:
+				vr.null = true
+			case TUnknown:
+				vr.unknown = true
+			case TVar:
+				if fr.depth < 0 {
+					vr.uninit = true
+					continue
+				}
+				cs := ctx[fr.depth]
+				queue = append(queue, frame{
+					v:     tup.Src.V,
+					start: e.prog.Node(cs).Preds,
+					depth: fr.depth - 1,
+				})
+			}
+		}
+		if e.over {
+			vr.unknown = true
+			return vr
+		}
+	}
+	return vr
+}
+
+// ValuesInContext returns the objects p may reference at loc when reached
+// via the given call path.
+func (e *Engine) ValuesInContext(p ir.VarID, loc ir.Loc, ctx Context) ([]ir.VarID, bool, error) {
+	if err := e.ValidateContext(ctx, loc); err != nil {
+		return nil, false, err
+	}
+	vr := e.collectValuesInContext(p, e.prog.Node(loc).Preds, ctx)
+	return vr.sortedObjs(), !vr.unknown, nil
+}
+
+// MayAliasInContext reports whether p and q may alias at loc in the given
+// context.
+func (e *Engine) MayAliasInContext(p, q ir.VarID, loc ir.Loc, ctx Context) (bool, error) {
+	if err := e.ValidateContext(ctx, loc); err != nil {
+		return false, err
+	}
+	if p == q {
+		return true, nil
+	}
+	vp := e.collectValuesInContext(p, e.prog.Node(loc).Preds, ctx)
+	vq := e.collectValuesInContext(q, e.prog.Node(loc).Preds, ctx)
+	if vp.unknown || vq.unknown {
+		return e.fallbackMayAlias(p, q), nil
+	}
+	for o := range vp.objs {
+		if vq.objs[o] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// MustAliasInContext is the context-sensitive must-alias predicate.
+func (e *Engine) MustAliasInContext(p, q ir.VarID, loc ir.Loc, ctx Context) (bool, error) {
+	if err := e.ValidateContext(ctx, loc); err != nil {
+		return false, err
+	}
+	vp := e.collectValuesInContext(p, e.prog.Node(loc).Preds, ctx)
+	vq := e.collectValuesInContext(q, e.prog.Node(loc).Preds, ctx)
+	if vp.unknown || vq.unknown || vp.null || vq.null || vp.uninit || vq.uninit {
+		return false, nil
+	}
+	if p == q {
+		return len(vp.objs) > 0, nil
+	}
+	if len(vp.objs) != 1 || len(vq.objs) != 1 {
+		return false, nil
+	}
+	return vp.sortedObjs()[0] == vq.sortedObjs()[0], nil
+}
+
+// Run executes the full cluster workload: exit summaries for every
+// function that can modify cluster pointers, built in increasing
+// Steensgaard-depth order (Algorithm 2's dovetailing), then FSCI value
+// sets for every cluster pointer at each of its occurrences in St_P. This
+// is the per-cluster unit of work the paper's Table 1 times.
+func (e *Engine) Run() error {
+	for _, f := range e.SummaryFuncs() {
+		vars := make([]ir.VarID, 0, len(e.modStar[f]))
+		for v := range e.modStar[f] {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool {
+			di, dj := e.sa.Depth(vars[i]), e.sa.Depth(vars[j])
+			if di != dj {
+				return di < dj
+			}
+			return vars[i] < vars[j]
+		})
+		for _, v := range vars {
+			e.Summary(f, v)
+			if e.over {
+				return ErrBudget
+			}
+		}
+	}
+	// Value sets at each occurrence of each cluster pointer.
+	occ := map[ir.VarID][]ir.Loc{}
+	for _, loc := range e.cl.Stmts {
+		st := e.prog.Node(loc).Stmt
+		for _, v := range []ir.VarID{st.Dst, st.Src} {
+			if v != ir.NoVar && e.cl.HasPointer(v) {
+				occ[v] = append(occ[v], loc)
+			}
+		}
+	}
+	for _, p := range e.cl.Pointers {
+		for _, loc := range occ[p] {
+			e.PointsToAt(p, loc)
+			if e.over {
+				return ErrBudget
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package fscs
+
+import (
+	"strconv"
+
+	"bootstrap/internal/ir"
+)
+
+// walkBack is the engine's core: the backward interprocedural traversal of
+// Algorithms 4 and 5. Starting from startLocs in function f with a tracked
+// token (the paper's tuple (p, f, l, m, q, cond) — here p and l are fixed
+// by the caller, the worklist carries (m, q, cond)), it propagates the
+// token against each statement's effect, branching on unresolved points-to
+// relations with constraints per Definition 8, splicing callee summaries at
+// call nodes, and returning the set of sources: tokens at f's entry (TVar)
+// or terminated sequences (TAddr / TNull / TUnknown).
+//
+// lookup supplies callee exit summaries; during the recursion fixpoint it
+// returns the current (possibly still growing) tuple sets.
+func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup func(ir.FuncID, ir.VarID) map[string]SumTuple) map[string]SumTuple {
+	out := map[string]SumTuple{}
+	if start.Kind != TVar {
+		t := SumTuple{Src: start, Cond: TrueCond()}
+		out[t.key()] = t
+		return out
+	}
+	entry := e.prog.Func(f).Entry
+
+	type item struct {
+		loc  ir.Loc
+		tok  Token
+		cond Cond
+	}
+	var work []item
+	seen := map[string]bool{}
+
+	record := func(t Token, c Cond) {
+		tup := SumTuple{Src: t, Cond: c}
+		out[tup.key()] = tup
+	}
+	push := func(loc ir.Loc, t Token, c Cond) {
+		if t.Kind != TVar && !e.hasAssumes {
+			// No path constraints to collect: terminated sequences record
+			// immediately.
+			record(t, c)
+			return
+		}
+		key := strconv.Itoa(int(loc)) + "|" + t.String() + "|" + c.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		work = append(work, item{loc: loc, tok: t, cond: c})
+	}
+	if len(startLocs) == 0 {
+		// Querying at the function entry: the token's value is whatever it
+		// holds on entry.
+		record(start, TrueCond())
+		return out
+	}
+	for _, l := range startLocs {
+		push(l, start, TrueCond())
+	}
+
+	for len(work) > 0 {
+		if !e.charge() {
+			return out
+		}
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		outcomes := e.transfer(it.loc, it.tok, it.cond, lookup)
+		n := e.prog.Node(it.loc)
+		for _, oc := range outcomes {
+			if oc.tok.Kind != TVar && !e.hasAssumes {
+				record(oc.tok, oc.cond)
+				continue
+			}
+			if it.loc == entry {
+				record(oc.tok, oc.cond)
+				continue
+			}
+			for _, pr := range n.Preds {
+				push(pr, oc.tok, oc.cond)
+			}
+		}
+	}
+	return out
+}
+
+// outcome is one (token, condition) result of pushing a token backwards
+// through a statement.
+type outcome struct {
+	tok  Token
+	cond Cond
+}
+
+// transfer implements Algorithm 4: the effect of the statement at loc on a
+// tracked token, backwards. It returns the possible outcomes (several when
+// a points-to relation cannot be resolved and both cases are tracked under
+// constraints).
+func (e *Engine) transfer(loc ir.Loc, tok Token, cond Cond, lookup func(ir.FuncID, ir.VarID) map[string]SumTuple) []outcome {
+	n := e.prog.Node(loc)
+	st := n.Stmt
+	q := tok.V
+	pass := []outcome{{tok: tok, cond: cond}}
+
+	// A terminated token (null / &obj / unknown) is walked further only
+	// to pick up the branch constraints guarding its path: assume nodes
+	// strengthen its condition; everything else is transparent.
+	if tok.Kind != TVar {
+		if st.Op == ir.OpAssumeEq || st.Op == ir.OpAssumeNeq {
+			if !e.cl.HasVar(st.Dst) || !e.cl.HasVar(st.Src) {
+				return pass
+			}
+			op := OpSameTarget
+			if st.Op == ir.OpAssumeNeq {
+				op = OpDiffTarget
+			}
+			return []outcome{{tok: tok, cond: cond.With(Atom{Loc: loc, Op: op, X: st.Dst, Y: st.Src}, e.maxCond)}}
+		}
+		return pass
+	}
+
+	// Statements outside St_P cannot modify V_P variables (Algorithm 1
+	// includes every statement whose destination is relevant), so they act
+	// as skips — this is the Prog_P slicing of Section 2.
+	switch st.Op {
+	case ir.OpCopy, ir.OpAddr, ir.OpLoad, ir.OpStore, ir.OpNullify:
+		if !e.cl.HasStmt(loc) {
+			return pass
+		}
+	}
+
+	switch st.Op {
+	case ir.OpSkip, ir.OpRet, ir.OpTouch:
+		return pass
+
+	case ir.OpAssumeEq, ir.OpAssumeNeq:
+		// Path sensitivity (Section 3): the walk crossed a branch arm
+		// guarded by a pointer (in)equality; record it as a same-target /
+		// different-target constraint (Definition 8) so refutable tuples
+		// are weeded out at satisfiability time. Only constraints over
+		// tracked (V_P) pointers are recorded — the FSCI points-to sets
+		// used to refute them are only computed for the cluster's slice.
+		if !e.cl.HasVar(st.Dst) || !e.cl.HasVar(st.Src) {
+			return pass
+		}
+		op := OpSameTarget
+		if st.Op == ir.OpAssumeNeq {
+			op = OpDiffTarget
+		}
+		return []outcome{{tok: tok, cond: cond.With(Atom{Loc: loc, Op: op, X: st.Dst, Y: st.Src}, e.maxCond)}}
+
+	case ir.OpCopy:
+		if st.Dst == q {
+			return []outcome{{tok: VarTok(st.Src), cond: cond}}
+		}
+		return pass
+
+	case ir.OpAddr:
+		if st.Dst == q {
+			return []outcome{{tok: AddrTok(st.Src), cond: cond}}
+		}
+		return pass
+
+	case ir.OpNullify:
+		if st.Dst == q {
+			return []outcome{{tok: NullTok(), cond: cond}}
+		}
+		return pass
+
+	case ir.OpLoad: // dst = *s
+		if st.Dst != q {
+			return pass
+		}
+		s := st.Src
+		if e.sa.SamePartition(s, q) {
+			// Cyclic case: s and the tracked pointer share a partition, so
+			// the FSCI points-to set of s is not available yet; enumerate
+			// the possible objects under constraints (Definition 8).
+			var outs []outcome
+			for _, o := range e.cl.Vars {
+				if e.sa.LocClass(o) == e.sa.ContentClass(s) {
+					outs = append(outs, outcome{
+						tok:  VarTok(o),
+						cond: cond.With(Atom{Loc: loc, Op: OpPointsTo, X: s, Y: o}, e.maxCond),
+					})
+				}
+			}
+			if len(outs) == 0 {
+				return []outcome{{tok: UnknownTok(), cond: cond}}
+			}
+			return outs
+		}
+		// Top-down resolution: s is strictly higher in the hierarchy, so
+		// its FSCI points-to set is computable first (Algorithm 2).
+		pt, known := e.PointsToAt(s, loc)
+		if !known {
+			return []outcome{{tok: UnknownTok(), cond: cond}}
+		}
+		var outs []outcome
+		for _, o := range pt {
+			if !e.cl.HasVar(o) {
+				continue
+			}
+			outs = append(outs, outcome{
+				tok:  VarTok(o),
+				cond: cond.With(Atom{Loc: loc, Op: OpPointsTo, X: s, Y: o}, e.maxCond),
+			})
+		}
+		if len(outs) == 0 {
+			// s points nowhere the analysis tracks: the load yields an
+			// unconstrained value.
+			return []outcome{{tok: UnknownTok(), cond: cond}}
+		}
+		return outs
+
+	case ir.OpStore: // *d = r
+		d, r := st.Dst, st.Src
+		// The store can touch q only if q's location class is what d
+		// points at under Steensgaard.
+		if e.sa.LocClass(q) != e.sa.ContentClass(d) {
+			return pass
+		}
+		both := func() []outcome {
+			return []outcome{
+				{tok: VarTok(r), cond: cond.With(Atom{Loc: loc, Op: OpPointsTo, X: d, Y: q}, e.maxCond)},
+				{tok: tok, cond: cond.With(Atom{Loc: loc, Op: OpNotPointsTo, X: d, Y: q}, e.maxCond)},
+			}
+		}
+		if e.sa.SamePartition(d, q) {
+			return both() // cyclic case: track constraints
+		}
+		pt, known := e.PointsToAt(d, loc)
+		if !known {
+			return both()
+		}
+		for _, o := range pt {
+			if o == q {
+				return both()
+			}
+		}
+		return pass // d provably never points at q here
+
+	case ir.OpCall:
+		g := st.Callee
+		if g == ir.NoFunc {
+			// Undevirtualized indirect call: conservatively unknown for
+			// any pointer it might modify.
+			if e.cl.HasVar(q) {
+				return []outcome{{tok: UnknownTok(), cond: cond}}
+			}
+			return pass
+		}
+		if !e.Modifies(g, q) {
+			// Executing g has no effect on q: jump over the call
+			// (Algorithm 5, line 17).
+			return pass
+		}
+		// Splice g's exit summary for q (Algorithm 5, lines 10-13): each
+		// source continues in the caller just before the call node, where
+		// the parameter-binding copies rebind formals to actuals.
+		var outs []outcome
+		for _, tup := range lookup(g, q) {
+			outs = append(outs, outcome{tok: tup.Src, cond: cond.And(tup.Cond, e.maxCond)})
+		}
+		// An empty (provisional) summary yields no outcomes this round;
+		// the fixpoint revisits once the callee summary grows.
+		return outs
+	}
+	return pass
+}

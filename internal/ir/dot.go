@@ -1,0 +1,75 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotCFG renders the control-flow graphs of the program's functions in
+// GraphViz DOT format, one cluster per function. Pass function IDs to
+// restrict the output; with none, every function is rendered.
+func (p *Program) DotCFG(fns ...FuncID) string {
+	if len(fns) == 0 {
+		for _, f := range p.Funcs {
+			fns = append(fns, f.ID)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("digraph cfg {\n")
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	for _, id := range fns {
+		f := p.Funcs[id]
+		fmt.Fprintf(&b, "\tsubgraph cluster_%d {\n", id)
+		fmt.Fprintf(&b, "\t\tlabel=%q;\n", f.Name)
+		for _, loc := range f.Nodes {
+			n := p.Nodes[loc]
+			shape := ""
+			switch {
+			case loc == f.Entry || loc == f.Exit:
+				shape = ", shape=ellipse"
+			case n.Stmt.Op == OpCall:
+				shape = ", shape=hexagon"
+			}
+			fmt.Fprintf(&b, "\t\tn%d [label=\"L%d: %s\"%s];\n", loc, loc, dotEscape(p.StmtString(loc)), shape)
+		}
+		for _, loc := range f.Nodes {
+			for _, s := range p.Nodes[loc].Succs {
+				style := ""
+				if s < loc {
+					style = " [style=dashed]" // back edge
+				}
+				fmt.Fprintf(&b, "\t\tn%d -> n%d%s;\n", loc, s, style)
+			}
+		}
+		b.WriteString("\t}\n")
+	}
+	// Interprocedural call edges (dotted, across clusters).
+	for _, id := range fns {
+		f := p.Funcs[id]
+		for _, loc := range f.Nodes {
+			st := p.Nodes[loc].Stmt
+			if st.Op == OpCall && st.Callee != NoFunc {
+				callee := p.Funcs[st.Callee]
+				if callee.Entry != NoLoc && containsFunc(fns, st.Callee) {
+					fmt.Fprintf(&b, "\tn%d -> n%d [style=dotted, color=gray];\n", loc, callee.Entry)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func containsFunc(fns []FuncID, f FuncID) bool {
+	for _, x := range fns {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,387 @@
+// Package ir defines the normalized intermediate representation that every
+// analysis in this repository operates on. Per Remark 1 of the paper, all
+// pointer statements are in one of four canonical forms — x = y, x = &y,
+// *x = y, x = *y — plus x = null (free/deallocation), calls, and skips.
+// Structures are flattened field-by-field by the frontend, heap allocations
+// are abstract objects named by their allocation site, and each function has
+// an explicit control-flow graph with globally unique statement locations.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VarID identifies an abstract memory object (variable, temp, heap object,
+// function value, …) within a Program. NoVar means "none".
+type VarID int32
+
+// FuncID identifies a function within a Program. NoFunc means "none".
+type FuncID int32
+
+// Loc is a globally unique statement location (an index into Program.Nodes).
+// The paper's "program location l" corresponds to a Loc.
+type Loc int32
+
+// Sentinel values.
+const (
+	NoVar  VarID  = -1
+	NoFunc FuncID = -1
+	NoLoc  Loc    = -1
+)
+
+// VarKind classifies abstract memory objects.
+type VarKind uint8
+
+// Variable kinds.
+const (
+	KindGlobal VarKind = iota // file-scope variable
+	KindLocal                 // function-local variable
+	KindParam                 // function formal parameter
+	KindTemp                  // frontend-introduced temporary
+	KindHeap                  // abstract heap object alloc@loc
+	KindRet                   // per-function return-value variable
+	KindFunc                  // a function used as a value (function pointer target)
+)
+
+var varKindNames = [...]string{"global", "local", "param", "temp", "heap", "ret", "func"}
+
+func (k VarKind) String() string { return varKindNames[k] }
+
+// Var is one abstract memory object.
+type Var struct {
+	ID   VarID
+	Name string // qualified: "g", "main.p", "main.$t1", "alloc@12", "s.f"
+	Kind VarKind
+	Fn   FuncID // owning function, or NoFunc for globals/heap/functions
+	// IsLock marks variables declared with the `lock` type; the lockset
+	// application selects clusters containing lock pointers.
+	IsLock bool
+}
+
+// Op is the operation of a canonical IR statement.
+type Op uint8
+
+// Statement operations.
+const (
+	OpSkip    Op = iota // no pointer effect (entry/exit/branch/temp join)
+	OpCopy              // Dst = Src
+	OpAddr              // Dst = &Src
+	OpLoad              // Dst = *Src
+	OpStore             // *Dst = Src
+	OpNullify           // Dst = null (kills Dst; from free() and explicit null)
+	OpCall              // call site; see Stmt.Callee / Stmt.FPtr / Stmt.Args
+	OpRet               // function exit marker
+	// OpTouch records a non-pointer memory access for client analyses
+	// (e.g. race detection): Dst is a directly written variable (NoVar if
+	// none); Src is a pointer written *through* (the objects it may
+	// reference are written; NoVar if none). Pointer analyses ignore it.
+	OpTouch
+	// OpAssumeEq / OpAssumeNeq mark branch arms guarded by a pointer
+	// (in)equality test `Dst == Src` / `Dst != Src` — the optional path
+	// sensitivity of Section 3: the FSCS walk records them as
+	// same-target/different-target constraints (Definition 8) and weeds
+	// out summary tuples whose constraints are refutable. Flow- and
+	// context-insensitive analyses treat them as skips.
+	OpAssumeEq
+	OpAssumeNeq
+)
+
+var opNames = [...]string{"skip", "copy", "addr", "load", "store", "nullify", "call", "ret", "touch", "assume==", "assume!="}
+
+func (o Op) String() string { return opNames[o] }
+
+// Stmt is one canonical statement. Exactly the fields relevant to Op are
+// meaningful.
+type Stmt struct {
+	Op  Op
+	Dst VarID // Copy/Addr/Load/Nullify: lhs. Store: the pointer being stored through.
+	Src VarID // Copy/Addr/Load/Store: rhs. Unused for Nullify.
+
+	// Call fields. A direct call has Callee set; an indirect call has FPtr
+	// (the variable holding the function pointer) set, with possible targets
+	// resolved later by the call-graph builder.
+	Callee FuncID
+	FPtr   VarID
+	Args   []VarID
+
+	// Comment carries the original source text or position, for dumps only.
+	Comment string
+}
+
+// Node is one CFG node: a statement at a location, with intraprocedural
+// edges. Return-value binding nodes that follow a call node record the call
+// they bind for (CallLoc) and the specific callee whose return variable they
+// copy, so interprocedural traversals know which target a path took.
+type Node struct {
+	Loc   Loc
+	Fn    FuncID
+	Stmt  Stmt
+	Succs []Loc
+	Preds []Loc
+
+	// CallLoc links a return-value binding node back to its call node, and
+	// is NoLoc elsewhere.
+	CallLoc Loc
+}
+
+// Func is one function: its formal parameters, return variable and CFG.
+type Func struct {
+	ID     FuncID
+	Name   string
+	Params []VarID
+	Ret    VarID // the $ret variable; NoVar if the function never returns a value
+	Entry  Loc
+	Exit   Loc
+	Nodes  []Loc // all nodes of this function, in creation order
+}
+
+// Program is a whole translation unit in IR form.
+type Program struct {
+	Vars  []*Var
+	Funcs []*Func
+	Nodes []*Node
+
+	FuncByName map[string]FuncID
+	VarByName  map[string]VarID
+
+	// FuncValue maps a FuncID to the KindFunc variable representing that
+	// function as a value (for function pointers), NoVar if never taken.
+	FuncValue map[FuncID]VarID
+
+	// Entry is the program entry function ("main" when present).
+	Entry FuncID
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		FuncByName: make(map[string]FuncID),
+		VarByName:  make(map[string]VarID),
+		FuncValue:  make(map[FuncID]VarID),
+		Entry:      NoFunc,
+	}
+}
+
+// AddVar adds a variable with a unique qualified name and returns its ID.
+// Adding a duplicate name panics: the frontend is responsible for
+// qualification.
+func (p *Program) AddVar(name string, kind VarKind, fn FuncID) VarID {
+	if _, dup := p.VarByName[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate variable %q", name))
+	}
+	id := VarID(len(p.Vars))
+	p.Vars = append(p.Vars, &Var{ID: id, Name: name, Kind: kind, Fn: fn})
+	p.VarByName[name] = id
+	return id
+}
+
+// Var returns the variable with the given ID.
+func (p *Program) Var(id VarID) *Var { return p.Vars[id] }
+
+// VarName returns the qualified name of id, or "<none>" for NoVar.
+func (p *Program) VarName(id VarID) string {
+	if id == NoVar {
+		return "<none>"
+	}
+	return p.Vars[id].Name
+}
+
+// AddFunc adds an empty function and returns it. Entry/Exit nodes must be
+// created by the caller (the frontend does this).
+func (p *Program) AddFunc(name string) *Func {
+	if _, dup := p.FuncByName[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", name))
+	}
+	id := FuncID(len(p.Funcs))
+	f := &Func{ID: id, Name: name, Ret: NoVar, Entry: NoLoc, Exit: NoLoc}
+	p.Funcs = append(p.Funcs, f)
+	p.FuncByName[name] = id
+	return f
+}
+
+// Func returns the function with the given ID.
+func (p *Program) Func(id FuncID) *Func { return p.Funcs[id] }
+
+// AddNode appends a statement node to fn's CFG and returns its location.
+// No edges are added.
+func (p *Program) AddNode(fn FuncID, s Stmt) Loc {
+	loc := Loc(len(p.Nodes))
+	n := &Node{Loc: loc, Fn: fn, Stmt: s, CallLoc: NoLoc}
+	p.Nodes = append(p.Nodes, n)
+	f := p.Funcs[fn]
+	f.Nodes = append(f.Nodes, loc)
+	return loc
+}
+
+// Node returns the node at loc.
+func (p *Program) Node(loc Loc) *Node { return p.Nodes[loc] }
+
+// AddEdge adds a CFG edge from → to. Duplicate edges are ignored.
+func (p *Program) AddEdge(from, to Loc) {
+	nf := p.Nodes[from]
+	for _, s := range nf.Succs {
+		if s == to {
+			return
+		}
+	}
+	nf.Succs = append(nf.Succs, to)
+	p.Nodes[to].Preds = append(p.Nodes[to].Preds, from)
+}
+
+// NumVars returns the size of the abstract-object universe. The paper's
+// "# pointers" column counts this universe.
+func (p *Program) NumVars() int { return len(p.Vars) }
+
+// StmtString renders the statement at loc for dumps and error messages.
+func (p *Program) StmtString(loc Loc) string {
+	n := p.Nodes[loc]
+	s := n.Stmt
+	switch s.Op {
+	case OpSkip:
+		if s.Comment != "" {
+			return "skip // " + s.Comment
+		}
+		return "skip"
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", p.VarName(s.Dst), p.VarName(s.Src))
+	case OpAddr:
+		return fmt.Sprintf("%s = &%s", p.VarName(s.Dst), p.VarName(s.Src))
+	case OpLoad:
+		return fmt.Sprintf("%s = *%s", p.VarName(s.Dst), p.VarName(s.Src))
+	case OpStore:
+		return fmt.Sprintf("*%s = %s", p.VarName(s.Dst), p.VarName(s.Src))
+	case OpNullify:
+		return fmt.Sprintf("%s = null", p.VarName(s.Dst))
+	case OpCall:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = p.VarName(a)
+		}
+		callee := "<indirect:" + p.VarName(s.FPtr) + ">"
+		if s.Callee != NoFunc {
+			callee = p.Funcs[s.Callee].Name
+		}
+		return fmt.Sprintf("call %s(%s)", callee, strings.Join(args, ", "))
+	case OpRet:
+		return "return"
+	case OpTouch:
+		switch {
+		case s.Dst != NoVar:
+			return fmt.Sprintf("touch %s", p.VarName(s.Dst))
+		case s.Src != NoVar:
+			return fmt.Sprintf("touch *%s", p.VarName(s.Src))
+		}
+		return "touch"
+	case OpAssumeEq:
+		return fmt.Sprintf("assume %s == %s", p.VarName(s.Dst), p.VarName(s.Src))
+	case OpAssumeNeq:
+		return fmt.Sprintf("assume %s != %s", p.VarName(s.Dst), p.VarName(s.Src))
+	}
+	return "?"
+}
+
+// Dump renders the whole program, one function at a time, for debugging.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "func %s(", f.Name)
+		for i, prm := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.VarName(prm))
+		}
+		b.WriteString(")\n")
+		for _, loc := range f.Nodes {
+			n := p.Nodes[loc]
+			fmt.Fprintf(&b, "  L%-4d %-40s ->", loc, p.StmtString(loc))
+			for _, s := range n.Succs {
+				fmt.Fprintf(&b, " L%d", s)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants of the program: edge symmetry,
+// location consistency, entry/exit presence, and operand validity. It
+// returns the first violation found, or nil.
+func (p *Program) Validate() error {
+	for i, v := range p.Vars {
+		if v.ID != VarID(i) {
+			return fmt.Errorf("var %q: ID %d != index %d", v.Name, v.ID, i)
+		}
+	}
+	for i, n := range p.Nodes {
+		if n.Loc != Loc(i) {
+			return fmt.Errorf("node at index %d has Loc %d", i, n.Loc)
+		}
+		if n.Fn < 0 || int(n.Fn) >= len(p.Funcs) {
+			return fmt.Errorf("L%d: bad function %d", n.Loc, n.Fn)
+		}
+		checkVar := func(id VarID, what string) error {
+			if id == NoVar {
+				return fmt.Errorf("L%d: missing %s operand", n.Loc, what)
+			}
+			if int(id) >= len(p.Vars) {
+				return fmt.Errorf("L%d: bad %s var %d", n.Loc, what, id)
+			}
+			return nil
+		}
+		switch n.Stmt.Op {
+		case OpCopy, OpAddr, OpLoad, OpStore, OpAssumeEq, OpAssumeNeq:
+			if err := checkVar(n.Stmt.Dst, "dst"); err != nil {
+				return err
+			}
+			if err := checkVar(n.Stmt.Src, "src"); err != nil {
+				return err
+			}
+		case OpNullify:
+			if err := checkVar(n.Stmt.Dst, "dst"); err != nil {
+				return err
+			}
+		case OpCall:
+			if n.Stmt.Callee == NoFunc && n.Stmt.FPtr == NoVar {
+				return fmt.Errorf("L%d: call with neither callee nor fptr", n.Loc)
+			}
+		}
+		for _, s := range n.Succs {
+			if int(s) >= len(p.Nodes) {
+				return fmt.Errorf("L%d: bad successor L%d", n.Loc, s)
+			}
+			if !containsLoc(p.Nodes[s].Preds, n.Loc) {
+				return fmt.Errorf("L%d -> L%d: missing back edge", n.Loc, s)
+			}
+			if p.Nodes[s].Fn != n.Fn {
+				return fmt.Errorf("L%d -> L%d: cross-function CFG edge", n.Loc, s)
+			}
+		}
+		for _, pr := range n.Preds {
+			if !containsLoc(p.Nodes[pr].Succs, n.Loc) {
+				return fmt.Errorf("L%d pred L%d: missing forward edge", n.Loc, pr)
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		if f.Entry == NoLoc || f.Exit == NoLoc {
+			return fmt.Errorf("func %s: missing entry or exit", f.Name)
+		}
+		for _, loc := range f.Nodes {
+			if p.Nodes[loc].Fn != f.ID {
+				return fmt.Errorf("func %s: node L%d belongs to another function", f.Name, loc)
+			}
+		}
+	}
+	return nil
+}
+
+func containsLoc(ls []Loc, x Loc) bool {
+	for _, l := range ls {
+		if l == x {
+			return true
+		}
+	}
+	return false
+}

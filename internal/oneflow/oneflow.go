@@ -1,0 +1,202 @@
+// Package oneflow implements a One-Level-Flow points-to analysis in the
+// precision slot of Das (PLDI 2000): assignments are directional at the
+// top level, while everything one level below the top is resolved with
+// unification. Concretely, the analysis runs Steensgaard's unification to
+// obtain the below-top cell structure, then propagates fine-grained
+// points-to sets directionally:
+//
+//   - x = &y   seeds pts(x) ∋ y;
+//   - x = y    adds the flow edge pts(x) ⊇ pts(y) (directional — the one
+//     level of flow Das adds over Steensgaard);
+//   - x = *s   reads the cells s may reference per Steensgaard:
+//     pts(x) ⊇ pts(o) for each o ∈ ptsSteens(s);
+//   - *d = r   writes them: pts(o) ⊇ pts(r) for each o ∈ ptsSteens(d).
+//
+// Because dereferences are resolved with the unification result rather
+// than on the fly, the edge set is fixed up front and one linear
+// propagation suffices — keeping near-Steensgaard cost while retaining
+// assignment direction, which is why the paper (Section 4) suggests
+// One-Flow as an optional middle stage of the bootstrapping cascade: a
+// cheap refinement of oversized Steensgaard partitions before paying for a
+// full Andersen run. Its precision is provably between the two: deref
+// targets are Steensgaard-coarse, copies are Andersen-directional.
+package oneflow
+
+import (
+	"sort"
+
+	"bootstrap/internal/bitset"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+)
+
+// Analysis is the result of the one-level-flow analysis.
+type Analysis struct {
+	prog *ir.Program
+	sa   *steens.Analysis
+	pts  []*bitset.Set // var -> object VarIDs (directional)
+}
+
+// Analyze runs the analysis over every statement of p, bootstrapped by a
+// fresh Steensgaard pass for the below-top structure.
+func Analyze(p *ir.Program) *Analysis {
+	return AnalyzeWith(p, steens.Analyze(p))
+}
+
+// AnalyzeWith reuses an existing Steensgaard result (the usual case inside
+// the cascade, which has already run it).
+func AnalyzeWith(p *ir.Program, sa *steens.Analysis) *Analysis {
+	nv := p.NumVars()
+	a := &Analysis{prog: p, sa: sa, pts: make([]*bitset.Set, nv)}
+	for i := range a.pts {
+		a.pts[i] = &bitset.Set{}
+	}
+	succs := make([][]int32, nv)
+	edge := func(from, to ir.VarID) {
+		if from != to {
+			succs[from] = append(succs[from], int32(to))
+		}
+	}
+	for _, n := range p.Nodes {
+		st := n.Stmt
+		switch st.Op {
+		case ir.OpAddr:
+			a.pts[st.Dst].Add(int(st.Src))
+		case ir.OpCopy:
+			edge(st.Src, st.Dst)
+		case ir.OpLoad: // dst = *s
+			for _, o := range sa.PointsToVars(st.Src) {
+				edge(o, st.Dst)
+			}
+		case ir.OpStore: // *d = r
+			for _, o := range sa.PointsToVars(st.Dst) {
+				edge(st.Src, o)
+			}
+		case ir.OpCall:
+			if st.Callee != ir.NoFunc {
+				continue
+			}
+			// Placeholder indirect call: bind conservatively with every
+			// function the pointer may target under Steensgaard.
+			for _, f := range sa.Targets(st.FPtr) {
+				fn := p.Func(f)
+				if len(fn.Params) != len(st.Args) {
+					continue
+				}
+				for i, arg := range st.Args {
+					if arg != ir.NoVar {
+						edge(arg, fn.Params[i])
+					}
+				}
+				if st.Dst != ir.NoVar && fn.Ret != ir.NoVar {
+					edge(fn.Ret, st.Dst)
+				}
+			}
+		}
+	}
+	// One propagation to fixpoint (the edge set is static).
+	work := make([]int32, 0, nv)
+	inWork := make([]bool, nv)
+	for v := 0; v < nv; v++ {
+		if !a.pts[v].Empty() {
+			work = append(work, int32(v))
+			inWork[v] = true
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		for _, s := range succs[v] {
+			if a.pts[s].UnionWith(a.pts[v]) && !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return a
+}
+
+// PointsToVars returns the objects v may point to, in increasing order.
+func (a *Analysis) PointsToVars(v ir.VarID) []ir.VarID {
+	var out []ir.VarID
+	a.pts[v].ForEach(func(o int) bool {
+		out = append(out, ir.VarID(o))
+		return true
+	})
+	return out
+}
+
+// MayAlias reports whether p and q may point to a common object.
+func (a *Analysis) MayAlias(p, q ir.VarID) bool { return a.pts[p].Intersects(a.pts[q]) }
+
+// MaxRefinedSize returns the largest piece Refine would produce for the
+// given pointer set, without materializing the pieces.
+func (a *Analysis) MaxRefinedSize(members []ir.VarID) int {
+	max := 0
+	for _, piece := range a.Refine(members) {
+		if len(piece) > max {
+			max = len(piece)
+		}
+	}
+	return max
+}
+
+// Refine splits a pointer set into pieces such that two members that may
+// alias under one-flow stay in one piece: connected components of the
+// shared-points-to relation, with each member also tied to the pieces of
+// pointers that may reference it (so writes through them stay covered).
+// Members that alias nothing form singleton pieces. The result is a
+// disjoint alias cover of the input set.
+func (a *Analysis) Refine(members []ir.VarID) [][]ir.VarID {
+	parent := map[ir.VarID]ir.VarID{}
+	var find func(ir.VarID) ir.VarID
+	find = func(x ir.VarID) ir.VarID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y ir.VarID) { parent[find(x)] = find(y) }
+	for _, m := range members {
+		parent[m] = m
+	}
+	inSet := map[ir.VarID]bool{}
+	for _, m := range members {
+		inSet[m] = true
+	}
+	// Pointers sharing a pointee stay together; a pointee in the set
+	// stays with every member pointing at it.
+	firstWithObj := map[ir.VarID]ir.VarID{}
+	for _, m := range members {
+		a.pts[m].ForEach(func(oi int) bool {
+			o := ir.VarID(oi)
+			if first, ok := firstWithObj[o]; ok {
+				union(first, m)
+			} else {
+				firstWithObj[o] = m
+			}
+			if inSet[o] {
+				union(o, m)
+			}
+			return true
+		})
+	}
+	groups := map[ir.VarID][]ir.VarID{}
+	for _, m := range members {
+		groups[find(m)] = append(groups[find(m)], m)
+	}
+	reps := make([]ir.VarID, 0, len(groups))
+	for r := range groups {
+		reps = append(reps, r)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	out := make([][]ir.VarID, 0, len(groups))
+	for _, r := range reps {
+		g := groups[r]
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	return out
+}

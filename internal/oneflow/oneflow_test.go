@@ -1,0 +1,232 @@
+package oneflow
+
+import (
+	"testing"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Analysis) {
+	t.Helper()
+	p, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p, Analyze(p)
+}
+
+func v(t *testing.T, p *ir.Program, name string) ir.VarID {
+	t.Helper()
+	id, ok := p.VarByName[name]
+	if !ok {
+		t.Fatalf("no variable %q", name)
+	}
+	return id
+}
+
+func ptsNames(p *ir.Program, a *Analysis, x ir.VarID) map[string]bool {
+	out := map[string]bool{}
+	for _, o := range a.PointsToVars(x) {
+		out[p.VarName(o)] = true
+	}
+	return out
+}
+
+// TestDirectionality is One-Flow's reason to exist: q = p pollutes q, not
+// p — unlike Steensgaard.
+func TestDirectionality(t *testing.T) {
+	p, a := analyze(t, `
+		int a, b;
+		int *p, *q;
+		void main() {
+			p = &a;
+			q = &b;
+			q = p;
+		}
+	`)
+	pp := ptsNames(p, a, v(t, p, "p"))
+	if pp["b"] {
+		t.Errorf("one-flow pts(p) = %v must not contain b", pp)
+	}
+	qq := ptsNames(p, a, v(t, p, "q"))
+	if !qq["a"] || !qq["b"] {
+		t.Errorf("one-flow pts(q) = %v, want a and b", qq)
+	}
+	// Steensgaard, by contrast, conflates p and q's contents.
+	sa := steens.Analyze(p)
+	if !sa.SamePartition(v(t, p, "p"), v(t, p, "q")) {
+		t.Error("setup: Steensgaard should conflate p and q")
+	}
+}
+
+// TestBetweenSteensgaardAndAndersen: on this program one-flow is strictly
+// more precise than Steensgaard and no more precise than Andersen.
+func TestBetweenSteensgaardAndAndersen(t *testing.T) {
+	src := `
+		int a, b, c;
+		int *p, *q, *r;
+		void main() {
+			p = &a;
+			q = &b;
+			r = &c;
+			q = p;
+			q = r;
+		}
+	`
+	p, a := analyze(t, src)
+	aa := andersen.Analyze(p)
+	for _, name := range []string{"p", "q", "r"} {
+		vid := v(t, p, name)
+		ofPts := map[ir.VarID]bool{}
+		for _, o := range a.PointsToVars(vid) {
+			ofPts[o] = true
+		}
+		// Andersen ⊆ one-flow.
+		for _, o := range aa.PointsTo(vid) {
+			if !ofPts[o] {
+				t.Errorf("pts(%s): Andersen has %s but one-flow lacks it", name, p.VarName(o))
+			}
+		}
+	}
+	// Precision win vs Steensgaard on p.
+	if len(a.PointsToVars(v(t, p, "p"))) >= 3 {
+		t.Errorf("one-flow pts(p) = %v should be smaller than the unified {a,b,c}",
+			ptsNames(p, a, v(t, p, "p")))
+	}
+}
+
+func TestDerefUnification(t *testing.T) {
+	// Below the top level, one-flow unifies: storing through px links the
+	// contents of x bidirectionally with y.
+	p, a := analyze(t, `
+		int a, b;
+		int *x, *y;
+		int **px;
+		void main() {
+			x = &a;
+			y = &b;
+			px = &x;
+			*px = y;
+		}
+	`)
+	xx := ptsNames(p, a, v(t, p, "x"))
+	if !xx["a"] || !xx["b"] {
+		t.Errorf("pts(x) = %v, want a and b", xx)
+	}
+}
+
+func TestMayAlias(t *testing.T) {
+	p, a := analyze(t, `
+		int a, b;
+		int *p, *q, *r;
+		void main() {
+			p = &a;
+			q = p;
+			r = &b;
+		}
+	`)
+	if !a.MayAlias(v(t, p, "p"), v(t, p, "q")) {
+		t.Error("p and q share a")
+	}
+	if a.MayAlias(v(t, p, "p"), v(t, p, "r")) {
+		t.Error("p and r are unrelated")
+	}
+}
+
+func TestRefineSplitsChain(t *testing.T) {
+	// One big Steensgaard partition (all contents unified through q), but
+	// one-flow separates p0/p1 sources; Refine must keep q with both (it
+	// may alias either) while keeping unrelated r alone.
+	src := `
+		int a0, a1, c;
+		int *p0, *p1, *q, *r;
+		void main() {
+			p0 = &a0;
+			p1 = &a1;
+			q = p0;
+			q = p1;
+			r = &c;
+		}
+	`
+	p, a := analyze(t, src)
+	sa := steens.Analyze(p)
+	part := sa.PartitionOf(v(t, p, "q"))
+	pieces := a.Refine(part)
+	// Every piece is nonempty, pieces are disjoint and cover the set.
+	seen := map[ir.VarID]bool{}
+	total := 0
+	for _, piece := range pieces {
+		if len(piece) == 0 {
+			t.Fatal("empty refinement piece")
+		}
+		for _, m := range piece {
+			if seen[m] {
+				t.Fatalf("refinement duplicates %s", p.VarName(m))
+			}
+			seen[m] = true
+			total++
+		}
+	}
+	if total != len(part) {
+		t.Errorf("refinement covers %d of %d members", total, len(part))
+	}
+	// May-aliasing members stay together.
+	samePiece := func(x, y ir.VarID) bool {
+		for _, piece := range pieces {
+			hasX, hasY := false, false
+			for _, m := range piece {
+				if m == x {
+					hasX = true
+				}
+				if m == y {
+					hasY = true
+				}
+			}
+			if hasX || hasY {
+				return hasX && hasY
+			}
+		}
+		return false
+	}
+	if !samePiece(v(t, p, "q"), v(t, p, "p0")) {
+		t.Error("q and p0 may alias; they must share a piece")
+	}
+	if !samePiece(v(t, p, "q"), v(t, p, "p1")) {
+		t.Error("q and p1 may alias; they must share a piece")
+	}
+}
+
+func TestRefineIsAliasCover(t *testing.T) {
+	// All one-flow may-alias pairs within a partition must land in the
+	// same refinement piece.
+	srcs := []string{
+		`int a, b; int *x, *y; int **px;
+		 void main() { x = &a; y = &b; px = &x; *px = y; y = *px; }`,
+		`int g1, g2; int *id(int *w) { return w; }
+		 void main() { int *r1; r1 = id(&g1); r1 = id(&g2); }`,
+	}
+	for _, src := range srcs {
+		p, a := analyze(t, src)
+		sa := steens.Analyze(p)
+		for _, part := range sa.Partitions() {
+			pieces := a.Refine(part)
+			pieceOf := map[ir.VarID]int{}
+			for i, piece := range pieces {
+				for _, m := range piece {
+					pieceOf[m] = i
+				}
+			}
+			for i := 0; i < len(part); i++ {
+				for j := i + 1; j < len(part); j++ {
+					if a.MayAlias(part[i], part[j]) && pieceOf[part[i]] != pieceOf[part[j]] {
+						t.Errorf("src %q: %s and %s may alias but were split",
+							src, p.VarName(part[i]), p.VarName(part[j]))
+					}
+				}
+			}
+		}
+	}
+}

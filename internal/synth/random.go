@@ -1,0 +1,188 @@
+// Package synth generates synthetic CPL programs. It has two roles:
+//
+//   - RandomSource produces small random programs for property-based
+//     testing (soundness of every analysis against the exact path oracle);
+//   - Generate (see table1.go) produces large programs calibrated to the
+//     paper's Table 1 benchmark rows — the substitution for the Linux
+//     drivers / sendmail / httpd sources the paper analyzed, preserving
+//     the pointer-count, connectivity and access-density shape that the
+//     clustering results depend on.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomConfig sizes a random program for property testing.
+type RandomConfig struct {
+	Objects      int // int objects
+	Ptrs         int // int* pointers
+	PtrPtrs      int // int** pointers
+	Funcs        int // helper functions beside main
+	StmtsPerFunc int
+	MaxDepth     int  // nesting depth of if/while
+	Recursion    bool // allow self/forward calls (bounded by the oracle)
+	Locks        int  // lock objects and pointers, for lockset tests
+}
+
+// DefaultRandomConfig is a reasonable size for oracle-checked tests.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Objects: 4, Ptrs: 4, PtrPtrs: 2,
+		Funcs: 2, StmtsPerFunc: 8, MaxDepth: 2,
+	}
+}
+
+type randGen struct {
+	rng *rand.Rand
+	cfg RandomConfig
+	b   strings.Builder
+}
+
+// RandomSource generates a random CPL translation unit. The same seed and
+// config always produce the same program.
+func RandomSource(rng *rand.Rand, cfg RandomConfig) string {
+	g := &randGen{rng: rng, cfg: cfg}
+	g.globals()
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&g.b, "void f%d(int *arg) {\n", f)
+		g.block(1, f)
+		g.b.WriteString("}\n")
+	}
+	g.b.WriteString("void main() {\n")
+	g.block(1, cfg.Funcs) // main may call every helper
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+func (g *randGen) globals() {
+	for i := 0; i < g.cfg.Objects; i++ {
+		fmt.Fprintf(&g.b, "int a%d;\n", i)
+	}
+	for i := 0; i < g.cfg.Ptrs; i++ {
+		fmt.Fprintf(&g.b, "int *p%d;\n", i)
+	}
+	for i := 0; i < g.cfg.PtrPtrs; i++ {
+		fmt.Fprintf(&g.b, "int **q%d;\n", i)
+	}
+	for i := 0; i < g.cfg.Locks; i++ {
+		fmt.Fprintf(&g.b, "lock m%d;\nlock *l%d;\n", i, i)
+	}
+}
+
+func (g *randGen) obj() string  { return fmt.Sprintf("a%d", g.rng.Intn(max(1, g.cfg.Objects))) }
+func (g *randGen) ptr() string  { return fmt.Sprintf("p%d", g.rng.Intn(max(1, g.cfg.Ptrs))) }
+func (g *randGen) pptr() string { return fmt.Sprintf("q%d", g.rng.Intn(max(1, g.cfg.PtrPtrs))) }
+
+func (g *randGen) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		g.b.WriteString("\t")
+	}
+}
+
+// block emits cfg.StmtsPerFunc random statements at the given depth.
+// fnIdx is the index of the enclosing function (cfg.Funcs for main);
+// calls target earlier functions, or any function when Recursion is set.
+func (g *randGen) block(depth, fnIdx int) {
+	for i := 0; i < g.cfg.StmtsPerFunc; i++ {
+		g.stmt(depth, fnIdx)
+	}
+}
+
+func (g *randGen) stmt(depth, fnIdx int) {
+	choice := g.rng.Intn(14)
+	// Flatten control flow when at max depth.
+	if depth > g.cfg.MaxDepth && choice >= 12 {
+		choice = g.rng.Intn(12)
+	}
+	g.indent(depth)
+	switch choice {
+	case 0, 1:
+		fmt.Fprintf(&g.b, "%s = &%s;\n", g.ptr(), g.obj())
+	case 2, 3:
+		if fnIdx < g.cfg.Funcs && g.rng.Intn(3) == 0 {
+			// Inside a helper: use the parameter for interprocedural flow.
+			fmt.Fprintf(&g.b, "%s = arg;\n", g.ptr())
+		} else {
+			fmt.Fprintf(&g.b, "%s = %s;\n", g.ptr(), g.ptr())
+		}
+	case 4:
+		if g.cfg.PtrPtrs > 0 {
+			fmt.Fprintf(&g.b, "%s = &%s;\n", g.pptr(), g.ptr())
+		} else {
+			fmt.Fprintf(&g.b, "%s = null;\n", g.ptr())
+		}
+	case 5:
+		if g.cfg.PtrPtrs > 0 {
+			fmt.Fprintf(&g.b, "%s = *%s;\n", g.ptr(), g.pptr())
+		} else {
+			fmt.Fprintf(&g.b, "%s = %s;\n", g.ptr(), g.ptr())
+		}
+	case 6:
+		if g.cfg.PtrPtrs > 0 {
+			fmt.Fprintf(&g.b, "*%s = %s;\n", g.pptr(), g.ptr())
+		} else {
+			fmt.Fprintf(&g.b, "%s = &%s;\n", g.ptr(), g.obj())
+		}
+	case 7:
+		fmt.Fprintf(&g.b, "%s = null;\n", g.ptr())
+	case 8:
+		fmt.Fprintf(&g.b, "%s = malloc;\n", g.ptr())
+	case 9:
+		fmt.Fprintf(&g.b, "free(%s);\n", g.ptr())
+	case 10:
+		if g.cfg.Locks > 0 {
+			a, b := g.rng.Intn(g.cfg.Locks), g.rng.Intn(g.cfg.Locks)
+			if g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&g.b, "l%d = &m%d;\n", a, b)
+			} else {
+				fmt.Fprintf(&g.b, "l%d = l%d;\n", a, b)
+			}
+		} else {
+			fmt.Fprintf(&g.b, "%s = %s;\n", g.ptr(), g.ptr())
+		}
+	case 11:
+		// Call an allowed function.
+		limit := fnIdx
+		if g.cfg.Recursion {
+			limit = g.cfg.Funcs
+		}
+		if limit > 0 {
+			fmt.Fprintf(&g.b, "f%d(%s);\n", g.rng.Intn(limit), g.ptr())
+		} else {
+			fmt.Fprintf(&g.b, "%s = %s;\n", g.ptr(), g.ptr())
+		}
+	case 12:
+		g.b.WriteString("if (*) {\n")
+		g.inner(depth, fnIdx)
+		g.indent(depth)
+		if g.rng.Intn(2) == 0 {
+			g.b.WriteString("} else {\n")
+			g.inner(depth, fnIdx)
+			g.indent(depth)
+		}
+		g.b.WriteString("}\n")
+	case 13:
+		g.b.WriteString("while (*) {\n")
+		g.inner(depth, fnIdx)
+		g.indent(depth)
+		g.b.WriteString("}\n")
+	}
+}
+
+// inner emits a short nested statement run.
+func (g *randGen) inner(depth, fnIdx int) {
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.stmt(depth+1, fnIdx)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,358 @@
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// Benchmark describes one Table 1 row: the identity and measured shape of
+// a paper benchmark, plus the generator parameters that reproduce that
+// shape synthetically (the substitution for the original C sources, which
+// are not part of this repository).
+type Benchmark struct {
+	Name     string
+	KLOC     float64
+	Pointers int
+
+	// Shape targets the generator calibrates to.
+	SteensMax   int     // paper's max Steensgaard partition size
+	AndersenMax int     // paper's max Andersen cluster size
+	Overlap     float64 // cross-community linking within the big partition:
+	// 0 = Andersen clustering splits it cleanly (sendmail-like),
+	// near 1 = heavy overlap, Andersen barely helps (mt-daapd-like).
+
+	// Paper-reported measurements (seconds unless noted) for
+	// EXPERIMENTS.md side-by-side reporting. NoClusterTime is a string
+	// because several rows are ">15min".
+	PaperSteensTime    float64
+	PaperClusterTime   float64
+	PaperNoClusterTime string
+	PaperSteensNum     int
+	PaperSteensFSCS    float64
+	PaperAndersenNum   int
+	PaperAndersenFSCS  float64
+}
+
+// Table1 is the paper's benchmark suite (Table 1), with every reported
+// column preserved for comparison.
+var Table1 = []Benchmark{
+	{Name: "sock", KLOC: 0.9, Pointers: 1089, SteensMax: 9, AndersenMax: 6, Overlap: 0.1,
+		PaperSteensTime: 0.02, PaperClusterTime: 0.04, PaperNoClusterTime: "0.11",
+		PaperSteensNum: 517, PaperSteensFSCS: 0.03, PaperAndersenNum: 539, PaperAndersenFSCS: 0.01},
+	{Name: "hugetlb", KLOC: 1.2, Pointers: 3607, SteensMax: 45, AndersenMax: 11, Overlap: 0.1,
+		PaperSteensTime: 0.3, PaperClusterTime: 0.5, PaperNoClusterTime: "8",
+		PaperSteensNum: 1091, PaperSteensFSCS: 0.7, PaperAndersenNum: 1290, PaperAndersenFSCS: 0.78},
+	{Name: "ctrace", KLOC: 1.4, Pointers: 377, SteensMax: 36, AndersenMax: 6, Overlap: 0.05,
+		PaperSteensTime: 0.01, PaperClusterTime: 0.03, PaperNoClusterTime: "0.07",
+		PaperSteensNum: 47, PaperSteensFSCS: 0.03, PaperAndersenNum: 193, PaperAndersenFSCS: 0.03},
+	{Name: "autofs", KLOC: 8.3, Pointers: 3258, SteensMax: 125, AndersenMax: 27, Overlap: 0.1,
+		PaperSteensTime: 0.6, PaperClusterTime: 1, PaperNoClusterTime: "6.48",
+		PaperSteensNum: 589, PaperSteensFSCS: 0.52, PaperAndersenNum: 907, PaperAndersenFSCS: 0.92},
+	{Name: "plip", KLOC: 14, Pointers: 3257, SteensMax: 26, AndersenMax: 14, Overlap: 0.2,
+		PaperSteensTime: 0.7, PaperClusterTime: 1.2, PaperNoClusterTime: "6.51",
+		PaperSteensNum: 568, PaperSteensFSCS: 0.57, PaperAndersenNum: 761, PaperAndersenFSCS: 0.62},
+	{Name: "ptrace", KLOC: 15, Pointers: 9075, SteensMax: 96, AndersenMax: 18, Overlap: 0.1,
+		PaperSteensTime: 0.9, PaperClusterTime: 1.1, PaperNoClusterTime: "16",
+		PaperSteensNum: 924, PaperSteensFSCS: 1.46, PaperAndersenNum: 5941, PaperAndersenFSCS: 0.67},
+	{Name: "raid", KLOC: 17, Pointers: 814, SteensMax: 129, AndersenMax: 26, Overlap: 0.1,
+		PaperSteensTime: 0.01, PaperClusterTime: 0.06, PaperNoClusterTime: "0.12",
+		PaperSteensNum: 100, PaperSteensFSCS: 0.03, PaperAndersenNum: 192, PaperAndersenFSCS: 0.03},
+	{Name: "jfs_dmap", KLOC: 17, Pointers: 14339, SteensMax: 39, AndersenMax: 11, Overlap: 0.1,
+		PaperSteensTime: 2.9, PaperClusterTime: 4.7, PaperNoClusterTime: "510",
+		PaperSteensNum: 4190, PaperSteensFSCS: 3.62, PaperAndersenNum: 9214, PaperAndersenFSCS: 1.34},
+	{Name: "tty_io", KLOC: 18, Pointers: 2675, SteensMax: 8, AndersenMax: 6, Overlap: 0.2,
+		PaperSteensTime: 0.9, PaperClusterTime: 2.1, PaperNoClusterTime: "22",
+		PaperSteensNum: 828, PaperSteensFSCS: 0.52, PaperAndersenNum: 882, PaperAndersenFSCS: 0.45},
+	{Name: "ipoib_multicast", KLOC: 26, Pointers: 2888, SteensMax: 15, AndersenMax: 9, Overlap: 0.2,
+		PaperSteensTime: 0.9, PaperClusterTime: 1.2, PaperNoClusterTime: "54.7",
+		PaperSteensNum: 1167, PaperSteensFSCS: 1, PaperAndersenNum: 1378, PaperAndersenFSCS: 0.5},
+	{Name: "wavelan_ko", KLOC: 20, Pointers: 3117, SteensMax: 44, AndersenMax: 19, Overlap: 0.15,
+		PaperSteensTime: 0.6, PaperClusterTime: 1.4, PaperNoClusterTime: "17.68",
+		PaperSteensNum: 591, PaperSteensFSCS: 1.2, PaperAndersenNum: 744, PaperAndersenFSCS: 1},
+	{Name: "pico", KLOC: 22, Pointers: 1903, SteensMax: 171, AndersenMax: 102, Overlap: 0.5,
+		PaperSteensTime: 2, PaperClusterTime: 10, PaperNoClusterTime: ">15min",
+		PaperSteensNum: 484, PaperSteensFSCS: 4.98, PaperAndersenNum: 871, PaperAndersenFSCS: 4.46},
+	{Name: "synclink", KLOC: 24, Pointers: 16355, SteensMax: 95, AndersenMax: 93, Overlap: 0.9,
+		PaperSteensTime: 12, PaperClusterTime: 18, PaperNoClusterTime: ">15min",
+		PaperSteensNum: 1237, PaperSteensFSCS: 26.85, PaperAndersenNum: 3503, PaperAndersenFSCS: 26},
+	{Name: "icecast", KLOC: 49, Pointers: 7490, SteensMax: 114, AndersenMax: 52, Overlap: 0.3,
+		PaperSteensTime: 2, PaperClusterTime: 12, PaperNoClusterTime: "459",
+		PaperSteensNum: 964, PaperSteensFSCS: 15, PaperAndersenNum: 2553, PaperAndersenFSCS: 15},
+	{Name: "freshclam", KLOC: 54, Pointers: 1991, SteensMax: 77, AndersenMax: 45, Overlap: 0.4,
+		PaperSteensTime: 0.3, PaperClusterTime: 0.9, PaperNoClusterTime: ">15min",
+		PaperSteensNum: 157, PaperSteensFSCS: 0.6, PaperAndersenNum: 740, PaperAndersenFSCS: 0.44},
+	{Name: "mt_daapd", KLOC: 92, Pointers: 4008, SteensMax: 89, AndersenMax: 83, Overlap: 0.9,
+		PaperSteensTime: 1.4, PaperClusterTime: 6.8, PaperNoClusterTime: ">15min",
+		PaperSteensNum: 635, PaperSteensFSCS: 4.8, PaperAndersenNum: 1118, PaperAndersenFSCS: 12.79},
+	{Name: "sigtool", KLOC: 95, Pointers: 5881, SteensMax: 151, AndersenMax: 147, Overlap: 0.9,
+		PaperSteensTime: 2, PaperClusterTime: 10, PaperNoClusterTime: ">15min",
+		PaperSteensNum: 552, PaperSteensFSCS: 8, PaperAndersenNum: 981, PaperAndersenFSCS: 7},
+	{Name: "clamd", KLOC: 101, Pointers: 16639, SteensMax: 346, AndersenMax: 187, Overlap: 0.3,
+		PaperSteensTime: 13, PaperClusterTime: 34, PaperNoClusterTime: "61",
+		PaperSteensNum: 1274, PaperSteensFSCS: 49, PaperAndersenNum: 3915, PaperAndersenFSCS: 41},
+	{Name: "sendmail", KLOC: 115, Pointers: 65134, SteensMax: 596, AndersenMax: 193, Overlap: 0.1,
+		PaperSteensTime: 125, PaperClusterTime: 675, PaperNoClusterTime: "76min",
+		PaperSteensNum: 21088, PaperSteensFSCS: 187.8, PaperAndersenNum: 24580, PaperAndersenFSCS: 138.9},
+	{Name: "httpd", KLOC: 128, Pointers: 16180, SteensMax: 199, AndersenMax: 152, Overlap: 0.5,
+		PaperSteensTime: 40, PaperClusterTime: 89, PaperNoClusterTime: ">15min",
+		PaperSteensNum: 1779, PaperSteensFSCS: 35, PaperAndersenNum: 3893, PaperAndersenFSCS: 32},
+}
+
+// FindBenchmark looks a Table 1 row up by name.
+func FindBenchmark(name string) (Benchmark, bool) {
+	for _, b := range Table1 {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Generate produces a deterministic CPL program with b's shape, scaled by
+// scale (1.0 = paper-sized). The pointer population is organized into
+// communities:
+//
+//   - one large community of ~SteensMax pointers, built as hub-and-spoke
+//     sub-communities of ~AndersenMax pointers around shared hub pointers
+//     (Steensgaard unifies everything through the hubs; Andersen clusters
+//     recover the sub-communities). The Overlap fraction adds cross-
+//     sub-community copies, which is what makes Andersen clustering
+//     ineffective for rows like mt-daapd;
+//   - many small communities (2–6 pointers) until the pointer budget is
+//     spent, matching the Figure 1 size-frequency shape;
+//   - statements are distributed over a KLOC-proportional function
+//     population with call edges (each community lives in 1–3 functions,
+//     preserving the access locality the summarization exploits), plus
+//     scalar padding statements to reach the line target.
+func Generate(b Benchmark, scale float64) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(int64(nameSeed(b.Name))))
+	g := &tableGen{rng: rng, b: b, scale: scale}
+	return g.generate()
+}
+
+func nameSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+type community struct {
+	ptrs  []string // pointer variable names
+	objs  []string // object variable names
+	pptrs []string // double pointers (for hierarchy depth)
+	stmts []string // statement lines
+	hosts []int    // host function indices
+}
+
+type tableGen struct {
+	rng   *rand.Rand
+	b     Benchmark
+	scale float64
+
+	decls []string
+	comms []*community
+	nVar  int
+}
+
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func (g *tableGen) fresh(prefix string) string {
+	g.nVar++
+	return fmt.Sprintf("%s%d", prefix, g.nVar)
+}
+
+func (g *tableGen) generate() string {
+	nPtr := scaled(g.b.Pointers, g.scale, 60)
+	bigSize := scaled(g.b.SteensMax, g.scale, 8)
+	subSize := scaled(g.b.AndersenMax, g.scale, 3)
+	if subSize >= bigSize {
+		subSize = bigSize/2 + 1
+	}
+
+	budget := nPtr
+	// The big community.
+	g.comms = append(g.comms, g.bigCommunity(bigSize, subSize))
+	budget -= bigSize
+	// Small communities until the budget is spent.
+	for budget > 2 {
+		size := 2 + g.rng.Intn(5)
+		if size > budget {
+			size = budget
+		}
+		g.comms = append(g.comms, g.smallCommunity(size))
+		budget -= size
+	}
+
+	// Function population proportional to KLOC.
+	nFuncs := scaled(int(g.b.KLOC*6), g.scale, 4)
+	for _, c := range g.comms {
+		hosts := 1 + g.rng.Intn(3)
+		for i := 0; i < hosts; i++ {
+			c.hosts = append(c.hosts, g.rng.Intn(nFuncs))
+		}
+	}
+
+	// Assemble the source.
+	var sb strings.Builder
+	for _, d := range g.decls {
+		sb.WriteString(d)
+		sb.WriteByte('\n')
+	}
+	// Distribute statements into their hosts.
+	bodies := make([][]string, nFuncs)
+	for _, c := range g.comms {
+		for i, s := range c.stmts {
+			h := c.hosts[i%len(c.hosts)]
+			bodies[h] = append(bodies[h], s)
+		}
+	}
+	// Scalar padding toward the KLOC target.
+	targetLines := int(g.b.KLOC * 1000 * g.scale)
+	pad := targetLines - g.countLines(bodies)
+	if pad > 0 {
+		padVar := g.fresh("pad")
+		g.decls = append(g.decls, "int "+padVar+";")
+		sb.WriteString("int " + padVar + ";\n")
+		for i := 0; i < pad; i++ {
+			bodies[i%nFuncs] = append(bodies[i%nFuncs], padVar+" = 1;")
+		}
+	}
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&sb, "void fn%d() {\n", f)
+		g.emitBody(&sb, bodies[f], f, nFuncs)
+		sb.WriteString("}\n")
+	}
+	sb.WriteString("void main() {\n")
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&sb, "\tfn%d();\n", f)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (g *tableGen) countLines(bodies [][]string) int {
+	n := len(g.decls)
+	for _, b := range bodies {
+		n += len(b) + 2
+	}
+	return n
+}
+
+// emitBody writes a function body with light control-flow structure and
+// occasional calls deeper into the function population (forward only, so
+// the call graph is acyclic except for a few deliberate back calls).
+func (g *tableGen) emitBody(sb *strings.Builder, stmts []string, f, nFuncs int) {
+	for i, s := range stmts {
+		switch g.rng.Intn(12) {
+		case 0:
+			fmt.Fprintf(sb, "\tif (*) {\n\t\t%s\n\t}\n", s)
+		case 1:
+			fmt.Fprintf(sb, "\twhile (*) {\n\t\t%s\n\t}\n", s)
+		default:
+			fmt.Fprintf(sb, "\t%s\n", s)
+		}
+		// A sparse forward call sprinkling keeps summaries interesting
+		// without quadratic call-site blowup.
+		if i%97 == 96 && f+1 < nFuncs {
+			fmt.Fprintf(sb, "\tfn%d();\n", f+1+g.rng.Intn(nFuncs-f-1))
+		}
+	}
+}
+
+// bigCommunity builds the hub-and-spoke large partition.
+func (g *tableGen) bigCommunity(size, subSize int) *community {
+	c := &community{}
+	nHub := 1 + size/(subSize*4+1)
+	var hubs []string
+	for i := 0; i < nHub; i++ {
+		h := g.fresh("hub")
+		hubs = append(hubs, h)
+		c.ptrs = append(c.ptrs, h)
+		g.decls = append(g.decls, "int *"+h+";")
+	}
+	remaining := size - nHub
+	var allSubs [][]string
+	for remaining > 0 {
+		s := subSize
+		if s > remaining {
+			s = remaining
+		}
+		remaining -= s
+		var sub []string
+		for i := 0; i < s; i++ {
+			p := g.fresh("bp")
+			sub = append(sub, p)
+			c.ptrs = append(c.ptrs, p)
+			g.decls = append(g.decls, "int *"+p+";")
+			o := g.fresh("bo")
+			c.objs = append(c.objs, o)
+			g.decls = append(g.decls, "int "+o+";")
+			// Each sub pointer anchors at an object and mixes within the
+			// sub.
+			c.stmts = append(c.stmts, p+" = &"+o+";")
+			if len(sub) > 1 {
+				c.stmts = append(c.stmts, p+" = "+sub[g.rng.Intn(len(sub)-1)]+";")
+			}
+		}
+		// The hub copies from every sub, unifying the partition under
+		// Steensgaard while Andersen keeps the subs apart.
+		hub := hubs[g.rng.Intn(len(hubs))]
+		c.stmts = append(c.stmts, hub+" = "+sub[g.rng.Intn(len(sub))]+";")
+		allSubs = append(allSubs, sub)
+	}
+	// Overlap: cross-sub copies erase the sub-community structure.
+	if len(allSubs) > 1 {
+		cross := int(g.b.Overlap * float64(len(c.ptrs)))
+		for i := 0; i < cross; i++ {
+			s1 := allSubs[g.rng.Intn(len(allSubs))]
+			s2 := allSubs[g.rng.Intn(len(allSubs))]
+			c.stmts = append(c.stmts, s1[g.rng.Intn(len(s1))]+" = "+s2[g.rng.Intn(len(s2))]+";")
+		}
+	}
+	return c
+}
+
+// smallCommunity builds a 2–6 pointer community; a third of them get a
+// double pointer with load/store traffic so the Steensgaard hierarchy has
+// depth and the FSCS walks see stores.
+func (g *tableGen) smallCommunity(size int) *community {
+	c := &community{}
+	var ptrs []string
+	for i := 0; i < size; i++ {
+		p := g.fresh("sp")
+		ptrs = append(ptrs, p)
+		c.ptrs = append(c.ptrs, p)
+		g.decls = append(g.decls, "int *"+p+";")
+	}
+	o := g.fresh("so")
+	c.objs = append(c.objs, o)
+	g.decls = append(g.decls, "int "+o+";")
+	c.stmts = append(c.stmts, ptrs[0]+" = &"+o+";")
+	for i := 1; i < len(ptrs); i++ {
+		c.stmts = append(c.stmts, ptrs[i]+" = "+ptrs[g.rng.Intn(i)]+";")
+	}
+	if g.rng.Intn(3) == 0 && len(ptrs) >= 2 {
+		pp := g.fresh("spp")
+		c.pptrs = append(c.pptrs, pp)
+		g.decls = append(g.decls, "int **"+pp+";")
+		c.stmts = append(c.stmts,
+			pp+" = &"+ptrs[0]+";",
+			"*"+pp+" = "+ptrs[1]+";",
+			ptrs[len(ptrs)-1]+" = *"+pp+";")
+	}
+	if g.rng.Intn(4) == 0 {
+		c.stmts = append(c.stmts, ptrs[g.rng.Intn(len(ptrs))]+" = malloc;")
+	}
+	return c
+}

@@ -1,0 +1,89 @@
+// Package uf implements a union-find (disjoint-set) forest with union by
+// rank and path compression. It is the substrate for Steensgaard's
+// unification-based points-to analysis, which requires near-constant-time
+// Find/Union to achieve its almost-linear overall complexity.
+package uf
+
+// Forest is a disjoint-set forest over the dense integer universe
+// [0, Len()). The zero value is an empty forest; use New or Grow to add
+// elements.
+type Forest struct {
+	parent []int32
+	rank   []uint8
+	sets   int
+}
+
+// New returns a forest of n singleton sets, labeled 0..n-1.
+func New(n int) *Forest {
+	f := &Forest{}
+	f.Grow(n)
+	return f
+}
+
+// Len returns the number of elements in the universe.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (f *Forest) Sets() int { return f.sets }
+
+// Grow extends the universe to at least n elements, adding each new element
+// as a singleton set. Growing to a smaller or equal size is a no-op.
+func (f *Forest) Grow(n int) {
+	for i := len(f.parent); i < n; i++ {
+		f.parent = append(f.parent, int32(i))
+		f.rank = append(f.rank, 0)
+		f.sets++
+	}
+}
+
+// Add appends one fresh singleton element and returns its label.
+func (f *Forest) Add() int {
+	id := len(f.parent)
+	f.Grow(id + 1)
+	return id
+}
+
+// Find returns the canonical representative of x's set, compressing the
+// path from x to the root.
+func (f *Forest) Find(x int) int {
+	root := x
+	for f.parent[root] != int32(root) {
+		root = int(f.parent[root])
+	}
+	for f.parent[x] != int32(root) {
+		x, f.parent[x] = int(f.parent[x]), int32(root)
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and returns the representative
+// of the merged set. Union of elements already in the same set is a no-op.
+func (f *Forest) Union(x, y int) int {
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		return rx
+	}
+	if f.rank[rx] < f.rank[ry] {
+		rx, ry = ry, rx
+	}
+	f.parent[ry] = int32(rx)
+	if f.rank[rx] == f.rank[ry] {
+		f.rank[rx]++
+	}
+	f.sets--
+	return rx
+}
+
+// Same reports whether x and y are in the same set.
+func (f *Forest) Same(x, y int) bool { return f.Find(x) == f.Find(y) }
+
+// Groups returns the members of every set, keyed by representative.
+// Members appear in increasing order within each group.
+func (f *Forest) Groups() map[int][]int {
+	g := make(map[int][]int, f.sets)
+	for i := 0; i < len(f.parent); i++ {
+		r := f.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}

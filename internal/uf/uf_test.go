@@ -1,0 +1,148 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	f := New(5)
+	if f.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", f.Len())
+	}
+	if f.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", f.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if f.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, f.Find(i), i)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	f := New(6)
+	f.Union(0, 1)
+	f.Union(2, 3)
+	f.Union(1, 2)
+	if !f.Same(0, 3) {
+		t.Error("0 and 3 should be in the same set")
+	}
+	if f.Same(0, 4) {
+		t.Error("0 and 4 should be in different sets")
+	}
+	if f.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", f.Sets())
+	}
+}
+
+func TestUnionIdempotent(t *testing.T) {
+	f := New(3)
+	f.Union(0, 1)
+	before := f.Sets()
+	f.Union(0, 1)
+	f.Union(1, 0)
+	if f.Sets() != before {
+		t.Errorf("repeated union changed set count: %d -> %d", before, f.Sets())
+	}
+}
+
+func TestGrowAndAdd(t *testing.T) {
+	f := &Forest{}
+	a := f.Add()
+	b := f.Add()
+	if a == b {
+		t.Fatalf("Add returned duplicate label %d", a)
+	}
+	f.Grow(10)
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", f.Len())
+	}
+	f.Grow(4) // shrinking is a no-op
+	if f.Len() != 10 {
+		t.Fatalf("Len after no-op Grow = %d, want 10", f.Len())
+	}
+	f.Union(a, 9)
+	if !f.Same(b, b) || !f.Same(a, 9) {
+		t.Error("union across grown region failed")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	f := New(5)
+	f.Union(0, 2)
+	f.Union(2, 4)
+	g := f.Groups()
+	if len(g) != 3 {
+		t.Fatalf("got %d groups, want 3", len(g))
+	}
+	r := f.Find(0)
+	members := g[r]
+	if len(members) != 3 {
+		t.Fatalf("group of 0 has %d members, want 3", len(members))
+	}
+	want := []int{0, 2, 4}
+	for i, m := range members {
+		if m != want[i] {
+			t.Errorf("members[%d] = %d, want %d", i, m, want[i])
+		}
+	}
+}
+
+// TestEquivalenceRelation checks that Same is an equivalence relation
+// consistent with the sequence of unions, against a naive quadratic oracle.
+func TestEquivalenceRelation(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		f := New(n)
+		// Oracle: naive labels.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < 60; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			f.Union(x, y)
+			relabel(label[x], label[y])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if f.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		// Set count matches the oracle's distinct labels.
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return f.Sets() == len(distinct)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := New(n)
+		for j := 1; j < n; j++ {
+			f.Union(j, j/2)
+		}
+		if f.Sets() != 1 {
+			b.Fatal("expected a single set")
+		}
+	}
+}
