@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: vet, build, and the full suite under the race
+# detector.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -30,6 +30,9 @@ var (
 	skipNC  = flag.Bool("skip-monolithic", false, "skip the unclustered baseline column")
 	compare = flag.Bool("compare", false, "also print the paper-vs-measured comparison")
 	sweep   = flag.String("sweep", "", "run the Andersen-threshold ablation on this benchmark instead")
+
+	clusterTimeout = flag.Duration("cluster-timeout", 0, "per-cluster wall-clock deadline per engine attempt (0 = none)")
+	retries        = flag.Int("retries", 0, "degradation-ladder retries per failed cluster (0 = single attempt, the historical bench behavior)")
 )
 
 func main() {
@@ -39,6 +42,8 @@ func main() {
 		Parts:            *parts,
 		Budget:           *budget,
 		SkipNoClustering: *skipNC,
+		ClusterTimeout:   *clusterTimeout,
+		Retries:          *retries,
 	}
 	if *sweep != "" {
 		b, ok := synth.FindBenchmark(*sweep)

@@ -13,6 +13,14 @@
 //	bootstrap -pts x -at main prog.cpl        # FSCS points-to set
 //	bootstrap -races prog.cpl                 # lockset race detection
 //	bootstrap -mode none -stats prog.cpl      # unclustered baseline
+//
+// Fault tolerance: -cluster-timeout bounds each per-cluster engine (the
+// paper's 15-minute analogue), -timeout bounds the whole run, and
+// -retries sets the degradation ladder's retry count. A cluster that
+// exhausts its budget, misses its deadline or panics is retried with
+// halved precision knobs and finally demoted to the flow-insensitive
+// fallback — queries stay sound and the run never errors out. -stats
+// prints the per-cluster health summary.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
@@ -34,6 +43,10 @@ var (
 	useOneFlow = flag.Bool("oneflow", false, "insert the One-Flow cascade stage")
 	workers    = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
 	budget     = flag.Int64("budget", 0, "per-cluster work budget (0 = unlimited)")
+
+	runTimeout     = flag.Duration("timeout", 0, "whole-run wall-clock deadline; on expiry remaining clusters degrade to the flow-insensitive fallback (0 = none)")
+	clusterTimeout = flag.Duration("cluster-timeout", 0, "per-cluster wall-clock deadline, the paper's 15-minute analogue (0 = none)")
+	retries        = flag.Int("retries", 1, "degradation-ladder retries per failed cluster, each halving budget and condition width (0 = demote immediately)")
 
 	dumpIR     = flag.Bool("dump", false, "dump the lowered IR")
 	dotCFG     = flag.Bool("dot", false, "emit the CFGs in GraphViz DOT format")
@@ -99,6 +112,9 @@ func run(path string) error {
 		UseOneFlow:        *useOneFlow,
 		Workers:           *workers,
 		ClusterBudget:     *budget,
+		ClusterTimeout:    *clusterTimeout,
+		RunTimeout:        *runTimeout,
+		Retries:           ladderRetriesFlag(*retries),
 	}
 	if *races {
 		cfg.Demand = lockset.LockDemand
@@ -138,11 +154,12 @@ func run(path string) error {
 		}
 	}
 	if *stats {
-		fmt.Printf("pointers: %d  clusters: %d  exhausted: %d\n",
-			a.Prog.NumVars(), len(a.Clusters), len(a.Exhausted))
-		fmt.Printf("timing: steensgaard=%v clustering=%v fscs(seq)=%v fscs(wall)=%v\n",
-			a.Timing.Steensgaard, a.Timing.Clustering, a.Timing.FSCS, a.Timing.Wall)
+		fmt.Printf("pointers: %d  clusters: %d  %s\n",
+			a.Prog.NumVars(), len(a.Clusters), healthSummary(a.Health))
+		fmt.Printf("timing: lower=%v steensgaard=%v clustering=%v fscs(seq)=%v fscs(wall)=%v\n",
+			a.Timing.Lower, a.Timing.Steensgaard, a.Timing.Clustering, a.Timing.FSCS, a.Timing.Wall)
 	}
+	printUnhealthy(a)
 
 	loc, err := queryLoc(a)
 	if err != nil {
@@ -192,6 +209,54 @@ func run(path string) error {
 		fmt.Print(nullcheck.FormatAll(a.Prog, warnings))
 	}
 	return nil
+}
+
+// ladderRetriesFlag maps the flag value to core.Config.Retries, where 0
+// means "use the default" and negative disables retries.
+func ladderRetriesFlag(n int) int {
+	if n <= 0 {
+		return -1 // demote on the first failure
+	}
+	return n
+}
+
+// healthSummary condenses the per-cluster health report into one field
+// of the stats line, e.g. "healthy: 12" or "healthy: 10 recovered: 1
+// degraded: 1".
+func healthSummary(hs []core.ClusterHealth) string {
+	counts := map[core.HealthStatus]int{}
+	for _, h := range hs {
+		counts[h.Status]++
+	}
+	parts := []string{fmt.Sprintf("healthy: %d", counts[core.HealthOK])}
+	for _, s := range []core.HealthStatus{
+		core.HealthRetried, core.HealthRecovered,
+		core.HealthExhausted, core.HealthTimedOut, core.HealthDegraded,
+	} {
+		if counts[s] > 0 {
+			parts = append(parts, fmt.Sprintf("%s: %d", s, counts[s]))
+		}
+	}
+	return strings.Join(parts, "  ")
+}
+
+// printUnhealthy reports every cluster the scheduler had to retry or
+// demote, so degraded precision never goes unnoticed.
+func printUnhealthy(a *core.Analysis) {
+	for _, h := range a.Health {
+		if h.Status == core.HealthOK {
+			continue
+		}
+		note := ""
+		if h.Err != nil {
+			note = fmt.Sprintf(" (%v)", h.Err)
+		}
+		if h.Demoted {
+			note += " — demoted to the flow-insensitive fallback"
+		}
+		fmt.Fprintf(os.Stderr, "bootstrap: cluster %d %s after %d attempt(s) in %v%s\n",
+			h.ClusterID, h.Status, h.Attempts, h.Elapsed.Round(time.Microsecond), note)
+	}
 }
 
 func queryLoc(a *core.Analysis) (ir.Loc, error) {

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -18,7 +19,6 @@ import (
 	"bootstrap/internal/cluster"
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
-	"bootstrap/internal/fscs"
 	"bootstrap/internal/ir"
 	"bootstrap/internal/steens"
 	"bootstrap/internal/synth"
@@ -38,6 +38,15 @@ type Options struct {
 	// Threshold overrides the Andersen threshold (0 = paper default 60,
 	// scaled).
 	Threshold int
+	// ClusterTimeout bounds each engine attempt's wall clock (0 = no
+	// deadline) — rows then record the demoted clusters in their health
+	// counts instead of running forever.
+	ClusterTimeout time.Duration
+	// Retries is the degradation-ladder retry count handed to the
+	// scheduler (see core.Config.Retries). Zero keeps the historical
+	// bench behavior of a single attempt per cluster, so retry time
+	// never pollutes the Table 1 columns unless asked for.
+	Retries int
 }
 
 func (o *Options) fill() {
@@ -50,6 +59,9 @@ func (o *Options) fill() {
 	if o.Budget <= 0 {
 		o.Budget = 3_000_000
 	}
+	if o.Retries == 0 {
+		o.Retries = -1
+	}
 }
 
 func (o *Options) threshold() int {
@@ -61,6 +73,51 @@ func (o *Options) threshold() int {
 		t = 4
 	}
 	return t
+}
+
+// HealthCounts aggregates the scheduler's per-cluster health over one
+// cover run.
+type HealthCounts struct {
+	OK, Retried, Recovered, Exhausted, TimedOut, Degraded int
+}
+
+func (h *HealthCounts) add(s core.HealthStatus) {
+	switch s {
+	case core.HealthOK:
+		h.OK++
+	case core.HealthRetried:
+		h.Retried++
+	case core.HealthRecovered:
+		h.Recovered++
+	case core.HealthExhausted:
+		h.Exhausted++
+	case core.HealthTimedOut:
+		h.TimedOut++
+	case core.HealthDegraded:
+		h.Degraded++
+	}
+}
+
+// Demoted counts the clusters that lost their engine and fell back to
+// the flow-insensitive answer.
+func (h HealthCounts) Demoted() int { return h.Exhausted + h.TimedOut + h.Degraded }
+
+// String renders the non-zero failure counts, e.g. "2 exhausted"; empty
+// when every cluster completed on the first attempt.
+func (h HealthCounts) String() string {
+	var parts []string
+	for _, p := range []struct {
+		n    int
+		name string
+	}{
+		{h.Retried, "retried"}, {h.Recovered, "recovered"},
+		{h.Exhausted, "exhausted"}, {h.TimedOut, "timed-out"}, {h.Degraded, "degraded"},
+	} {
+		if p.n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", p.n, p.name))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Row is one measured Table 1 row.
@@ -81,24 +138,32 @@ type Row struct {
 	AndersenNum  int           // column 10
 	AndersenMax  int           // column 11
 	AndersenFSCS time.Duration // column 12
+
+	// Scheduler health per cover (budget exhaustion, deadlines, panics).
+	NoClusterHealth HealthCounts
+	SteensHealth    HealthCounts
+	AndersenHealth  HealthCounts
 }
 
-// runCover runs the per-cluster FSCS engines sequentially, returning the
-// per-cluster times (for the machine simulation) and whether any engine
-// exhausted its budget.
+// runCover runs the per-cluster FSCS engines sequentially through the
+// fault-tolerant scheduler, returning the per-cluster times (for the
+// machine simulation) and the aggregated health report.
 func runCover(prog *ir.Program, cg *callgraph.Graph, sa *steens.Analysis,
-	cs []*cluster.Cluster, budget int64) ([]time.Duration, bool) {
+	cs []*cluster.Cluster, budget int64, opt Options) ([]time.Duration, HealthCounts) {
 	times := make([]time.Duration, len(cs))
-	timedOut := false
+	var hc HealthCounts
+	cfg := core.Config{
+		ClusterBudget:  budget,
+		ClusterTimeout: opt.ClusterTimeout,
+		Retries:        opt.Retries,
+	}
 	for i, c := range cs {
 		t := time.Now()
-		eng := fscs.NewEngine(prog, cg, sa, c, fscs.WithBudget(budget))
-		if err := eng.Run(); err != nil {
-			timedOut = true
-		}
+		_, h := core.RunCluster(context.Background(), prog, cg, sa, c, nil, cfg)
 		times[i] = time.Since(t)
+		hc.add(h.Status)
 	}
-	return times, timedOut
+	return times, hc
 }
 
 func sum(ds []time.Duration) time.Duration {
@@ -127,16 +192,18 @@ func RunRow(b synth.Benchmark, opt Options) (Row, error) {
 	// Column 6: FSCS without clustering (budgeted, like the 15-min cap).
 	if !opt.SkipNoClustering {
 		whole := []*cluster.Cluster{cluster.BuildWhole(prog, sa)}
-		times, timedOut := runCover(prog, cg, sa, whole, opt.Budget)
+		times, hc := runCover(prog, cg, sa, whole, opt.Budget, opt)
 		row.NoClusterTime = sum(times)
-		row.NoClusterTimedOut = timedOut
+		row.NoClusterHealth = hc
+		row.NoClusterTimedOut = hc.Demoted() > 0
 	}
 
 	// Columns 7-9: Steensgaard clustering.
 	steensCover := cluster.BuildSteensgaard(prog, sa)
 	ss := cluster.CoverStats(steensCover)
 	row.SteensNum, row.SteensMax = ss.NumClusters, ss.MaxSize
-	stimes, _ := runCover(prog, cg, sa, steensCover, 0)
+	stimes, shc := runCover(prog, cg, sa, steensCover, 0, opt)
+	row.SteensHealth = shc
 	row.SteensFSCS = core.SimulateParallel(steensCover, stimes, opt.Parts)
 
 	// Columns 5, 10-12: Andersen clustering.
@@ -145,7 +212,8 @@ func RunRow(b synth.Benchmark, opt Options) (Row, error) {
 	row.ClusterTime = time.Since(t1)
 	as := cluster.CoverStats(andersenCover)
 	row.AndersenNum, row.AndersenMax = as.NumClusters, as.MaxSize
-	atimes, _ := runCover(prog, cg, sa, andersenCover, 0)
+	atimes, ahc := runCover(prog, cg, sa, andersenCover, 0, opt)
+	row.AndersenHealth = ahc
 	row.AndersenFSCS = core.SimulateParallel(andersenCover, atimes, opt.Parts)
 
 	return row, nil
@@ -166,6 +234,18 @@ func RunTable(benches []synth.Benchmark, opt Options, w io.Writer) ([]Row, error
 		if w != nil {
 			fmt.Fprintf(w, " done (%d pointers, %d+%d clusters)\n",
 				row.Pointers, row.SteensNum, row.AndersenNum)
+			for _, cover := range []struct {
+				name string
+				hc   HealthCounts
+			}{
+				{"no-clustering", row.NoClusterHealth},
+				{"steensgaard", row.SteensHealth},
+				{"andersen", row.AndersenHealth},
+			} {
+				if s := cover.hc.String(); s != "" {
+					fmt.Fprintf(w, "  %s health: %s\n", cover.name, s)
+				}
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -324,7 +404,7 @@ func ThresholdSweep(b synth.Benchmark, thresholds []int, opt Options) ([]Thresho
 		cover := cluster.BuildAndersen(prog, sa, th)
 		ct := time.Since(t0)
 		stats := cluster.CoverStats(cover)
-		times, _ := runCover(prog, cg, sa, cover, 0)
+		times, _ := runCover(prog, cg, sa, cover, 0, opt)
 		out = append(out, ThresholdPoint{
 			Threshold:   th,
 			NumClusters: stats.NumClusters,

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"bootstrap/internal/andersen"
 	"bootstrap/internal/callgraph"
 	"bootstrap/internal/cluster"
+	"bootstrap/internal/faults"
 	"bootstrap/internal/frontend"
 	"bootstrap/internal/fscs"
 	"bootstrap/internal/ir"
@@ -64,6 +66,27 @@ type Config struct {
 	// process — the analogue of the paper's 15-minute timeout. Zero means
 	// unlimited.
 	ClusterBudget int64
+	// ClusterTimeout bounds the wall-clock time of each per-cluster
+	// engine attempt — the paper's 15-minute timeout made literal. On
+	// expiry the cluster walks the degradation ladder (see Retries). Zero
+	// means no per-cluster deadline.
+	ClusterTimeout time.Duration
+	// RunTimeout bounds the wall-clock time of the whole per-cluster FSCS
+	// stage; when it expires, clusters still running (or not yet started)
+	// are demoted to the flow-insensitive fallback — the run completes
+	// with degraded precision instead of erroring. Zero means no
+	// whole-run deadline.
+	RunTimeout time.Duration
+	// Retries is the degradation ladder's retry count after a failed
+	// attempt (budget, deadline or panic); each retry halves MaxCond and
+	// ClusterBudget. Zero selects the default (1); negative disables
+	// retries, demoting on the first failure.
+	Retries int
+	// Faults injects deterministic faults into chosen clusters — the
+	// testing/chaos hook for the fault-tolerance layer. Nil injects
+	// nothing. Faults apply only to the eager scheduler, not to engines
+	// created lazily at query time.
+	Faults *faults.Plan
 	// MaxCond bounds constraint conjunctions (default 8).
 	MaxCond int
 	// Demand restricts the precise analysis to clusters containing at
@@ -106,8 +129,11 @@ type Analysis struct {
 	Clusters  []*cluster.Cluster
 	Timing    Timing
 
-	// Exhausted lists the cluster IDs whose engines ran out of budget.
-	Exhausted []int
+	// Health reports, per selected cluster (sorted by cluster ID), how
+	// its engine fared under the fault-tolerant scheduler: completed,
+	// retried, recovered from a panic, or demoted to the fallback.
+	// Empty in Lazy mode, where engines run at query time.
+	Health []ClusterHealth
 
 	cfg       Config
 	mu        sync.Mutex
@@ -118,17 +144,26 @@ type Analysis struct {
 
 // AnalyzeSource parses, lowers and analyzes CPL source text.
 func AnalyzeSource(src string, cfg Config) (*Analysis, error) {
-	start := time.Now()
+	return AnalyzeSourceContext(context.Background(), src, cfg)
+}
+
+// AnalyzeSourceContext is AnalyzeSource under a cancellation context (see
+// AnalyzeProgramContext).
+func AnalyzeSourceContext(ctx context.Context, src string, cfg Config) (*Analysis, error) {
+	// The frontend phase is timed directly: deriving it by subtracting
+	// the other stages from the total underflows once stages overlap
+	// wall-clock (parallel FSCS makes Wall < FSCS).
+	t0 := time.Now()
 	prog, err := frontend.LowerSource(src)
 	if err != nil {
 		return nil, err
 	}
-	a, err := AnalyzeProgram(prog, cfg)
+	lower := time.Since(t0)
+	a, err := AnalyzeProgramContext(ctx, prog, cfg)
 	if err != nil {
 		return nil, err
 	}
-	a.Timing.Lower = time.Since(start) - a.Timing.Steensgaard - a.Timing.OneFlow -
-		a.Timing.Clustering - a.Timing.Wall
+	a.Timing.Lower = lower
 	return a, nil
 }
 
@@ -136,6 +171,18 @@ func AnalyzeSource(src string, cfg Config) (*Analysis, error) {
 // program may still contain indirect-call placeholders; they are
 // devirtualized with Steensgaard-resolved targets first.
 func AnalyzeProgram(prog *ir.Program, cfg Config) (*Analysis, error) {
+	return AnalyzeProgramContext(context.Background(), prog, cfg)
+}
+
+// AnalyzeProgramContext is AnalyzeProgram under a cancellation context.
+// Cancelling ctx aborts the run with ctx's error. Deadlines configured in
+// cfg (RunTimeout, ClusterTimeout) are softer: they degrade clusters to
+// the flow-insensitive fallback and the analysis still completes, every
+// query remaining sound.
+func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -165,6 +212,9 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Analysis, error) {
 	}
 	a.Steens = sa
 	a.Timing.Steensgaard = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
+	}
 
 	// Optional middle stage: One-Level Flow. Its only framework role is
 	// to refine the "oversized" judgement: partitions whose One-Flow
@@ -196,6 +246,9 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Analysis, error) {
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}
 	a.Timing.Clustering = time.Since(t1)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
+	}
 
 	// The flow-insensitive fallback for imprecise FSCS paths.
 	a.Andersen = andersen.Analyze(prog)
@@ -228,10 +281,20 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Analysis, error) {
 		return a, nil
 	}
 
-	// Stage 2: the precise per-cluster FSCS analyses, in parallel.
+	// Stage 2: the precise per-cluster FSCS analyses, in parallel, under
+	// the fault-tolerant scheduler: each cluster gets a wall-clock
+	// deadline and panic isolation, and on failure walks the degradation
+	// ladder (retry with halved knobs, then demote to the fallback) so
+	// one hard or broken cluster degrades only itself, never the run.
+	runCtx := ctx
+	if cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.RunTimeout)
+		defer cancel()
+	}
 	a.Timing.PerCluster = make([]time.Duration, len(work))
 	engines := make([]*fscs.Engine, len(work))
-	exhausted := make([]bool, len(work))
+	healths := make([]ClusterHealth, len(work))
 
 	tw := time.Now()
 	var wg sync.WaitGroup
@@ -242,28 +305,48 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) (*Analysis, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			t := time.Now()
-			eng := fscs.NewEngine(prog, a.CallGraph, sa, c,
-				fscs.WithFallback(a.Andersen),
-				fscs.WithBudget(cfg.ClusterBudget),
-				fscs.WithMaxCond(maxCondOrDefault(cfg.MaxCond)))
-			err := eng.Run()
-			a.Timing.PerCluster[i] = time.Since(t)
-			engines[i] = eng
-			exhausted[i] = err == fscs.ErrBudget
+			engines[i], healths[i] = RunCluster(runCtx, prog, a.CallGraph, sa, c, a.Andersen, cfg)
+			a.Timing.PerCluster[i] = healths[i].Elapsed
 		}(i, c)
 	}
 	wg.Wait()
 	a.Timing.Wall = time.Since(tw)
+	if err := ctx.Err(); err != nil {
+		// Explicit caller cancellation aborts; cfg deadlines never land
+		// here (runCtx expiring only degrades clusters).
+		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
+	}
 	for i, c := range work {
-		a.engines[c.ID] = engines[i]
+		if engines[i] != nil {
+			a.engines[c.ID] = engines[i]
+		} else {
+			// Permanently demoted: queries on this cluster's pointers
+			// answer from the Andersen fallback (the HybridSizeLimit
+			// path, generalized). Deselect it so lazy queries cannot
+			// resurrect the engine.
+			delete(a.selected, c.ID)
+		}
 		a.Timing.FSCS += a.Timing.PerCluster[i]
-		if exhausted[i] {
-			a.Exhausted = append(a.Exhausted, c.ID)
+		a.Health = append(a.Health, healths[i])
+	}
+	sort.Slice(a.Health, func(i, j int) bool { return a.Health[i].ClusterID < a.Health[j].ClusterID })
+	return a, nil
+}
+
+// Exhausted returns the IDs of the clusters whose final engine attempt
+// ran out of work budget, sorted.
+//
+// Deprecated: Exhausted is a derived view kept for one release; read
+// Health instead, which also reports timeouts, panics, retries and
+// demotions.
+func (a *Analysis) Exhausted() []int {
+	var out []int
+	for _, h := range a.Health {
+		if h.Status == HealthExhausted {
+			out = append(out, h.ClusterID)
 		}
 	}
-	sort.Ints(a.Exhausted)
-	return a, nil
+	return out
 }
 
 func maxCondOrDefault(n int) int {

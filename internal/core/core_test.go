@@ -1,13 +1,19 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"bootstrap/internal/cluster"
+	"bootstrap/internal/faults"
 	"bootstrap/internal/fscs"
 	"bootstrap/internal/ir"
 )
+
+func errorsIsBudget(err error) bool { return errors.Is(err, fscs.ErrBudget) }
 
 const testProgram = `
 	int a, b, c;
@@ -134,6 +140,54 @@ func TestDemandDrivenLocks(t *testing.T) {
 	}
 }
 
+// clusterOf returns the ID of the first analyzed cluster containing the
+// named pointer in a healthy reference analysis.
+func clusterOf(t *testing.T, a *Analysis, name string) int {
+	t.Helper()
+	ids := a.ClustersOf(v(t, a, name))
+	if len(ids) == 0 {
+		t.Fatalf("%s is in no analyzed cluster", name)
+	}
+	return ids[0]
+}
+
+// healthOf returns the health entry of one cluster.
+func healthOf(t *testing.T, a *Analysis, id int) ClusterHealth {
+	t.Helper()
+	for _, h := range a.Health {
+		if h.ClusterID == id {
+			return h
+		}
+	}
+	t.Fatalf("no health entry for cluster %d (have %d entries)", id, len(a.Health))
+	return ClusterHealth{}
+}
+
+// soundnessPairs is the pointer sample the fault tests probe.
+var soundnessPairs = []string{"x", "y", "p", "px", "l1", "l2"}
+
+// assertSound checks the two soundness directions on every sampled pair:
+// an alias the healthy precise analysis reports must survive degradation,
+// and a degraded run must never report aliases beyond the flow-insensitive
+// Andersen over-approximation.
+func assertSound(t *testing.T, healthy, faulty *Analysis) {
+	t.Helper()
+	exit := exitLoc(healthy)
+	for i, pn := range soundnessPairs {
+		for _, qn := range soundnessPairs[i+1:] {
+			want := healthy.MayAlias(v(t, healthy, pn), v(t, healthy, qn), exit)
+			got := faulty.MayAlias(v(t, faulty, pn), v(t, faulty, qn), exit)
+			if want && !got {
+				t.Errorf("MayAlias(%s,%s): degraded run lost a may-alias (unsound)", pn, qn)
+			}
+			andersen := faulty.Andersen.MayAlias(v(t, faulty, pn), v(t, faulty, qn))
+			if got && !andersen {
+				t.Errorf("MayAlias(%s,%s): degraded run reports an alias Andersen refutes", pn, qn)
+			}
+		}
+	}
+}
+
 func TestParallelMatchesSequential(t *testing.T) {
 	seq, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
 	if err != nil {
@@ -150,6 +204,152 @@ func TestParallelMatchesSequential(t *testing.T) {
 		if s != p {
 			t.Errorf("MayAlias(%s,%s): sequential %v != parallel %v", pair[0], pair[1], s, p)
 		}
+	}
+
+	// Fault injection: with one cluster panicking, one forced out of
+	// budget and one timing out, the run must still complete, report the
+	// failures in Health, and keep every query sound — sequentially and
+	// under the parallel scheduler alike.
+	xID := clusterOf(t, seq, "x")
+	lockID := clusterOf(t, seq, "l1")
+	pxID := clusterOf(t, seq, "px")
+	if xID == lockID || xID == pxID || lockID == pxID {
+		t.Fatalf("fault targets must be distinct clusters: x=%d l1=%d px=%d", xID, lockID, pxID)
+	}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("faults/workers=%d", workers), func(t *testing.T) {
+			plan := faults.NewPlan().
+				Set(xID, faults.Fault{Kind: faults.Panic}).
+				Set(lockID, faults.Fault{Kind: faults.Budget}).
+				Set(pxID, faults.Fault{Kind: faults.Slow, Delay: 400 * time.Millisecond})
+			a, err := AnalyzeSource(testProgram, Config{
+				Mode:           ModeSteensgaard,
+				Workers:        workers,
+				ClusterTimeout: 150 * time.Millisecond,
+				Faults:         plan,
+			})
+			if err != nil {
+				t.Fatalf("a faulty cluster must not fail the analysis: %v", err)
+			}
+			if len(a.Health) != len(seq.Health) {
+				t.Errorf("Health has %d entries, want %d", len(a.Health), len(seq.Health))
+			}
+			hx := healthOf(t, a, xID)
+			if hx.Status != HealthDegraded || !hx.Demoted || hx.Stack == "" || hx.Err == nil {
+				t.Errorf("panicked cluster: %+v, want degraded+demoted with stack and error", hx)
+			}
+			hl := healthOf(t, a, lockID)
+			if hl.Status != HealthExhausted || !hl.Demoted || !errorsIsBudget(hl.Err) {
+				t.Errorf("budget cluster: %+v, want exhausted+demoted with ErrBudget", hl)
+			}
+			hp := healthOf(t, a, pxID)
+			if hp.Status != HealthTimedOut || !hp.Demoted {
+				t.Errorf("slow cluster: %+v, want timed-out+demoted", hp)
+			}
+			for _, h := range []ClusterHealth{hx, hl, hp} {
+				if h.Attempts != 2 {
+					t.Errorf("cluster %d: %d attempts, want 2 (ladder retry before demotion)", h.ClusterID, h.Attempts)
+				}
+			}
+			assertSound(t, seq, a)
+		})
+	}
+}
+
+func TestPanicRecoveredByRetry(t *testing.T) {
+	healthy, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xID := clusterOf(t, healthy, "x")
+	// The panic fires only on the first attempt; the ladder retry runs
+	// clean and the cluster keeps its precise engine.
+	plan := faults.NewPlan().Set(xID, faults.Fault{Kind: faults.Panic, Attempts: 1})
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 2, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := healthOf(t, a, xID)
+	if h.Status != HealthRecovered || h.Demoted || h.Attempts != 2 {
+		t.Errorf("health = %+v, want recovered after 2 attempts, not demoted", h)
+	}
+	if h.Stack == "" {
+		t.Error("the recovered panic's stack should be captured")
+	}
+	if a.Engine(xID) == nil {
+		t.Error("recovered cluster should keep its engine")
+	}
+	// With the engine recovered, answers match the healthy run exactly.
+	exit := exitLoc(healthy)
+	for i, pn := range soundnessPairs {
+		for _, qn := range soundnessPairs[i+1:] {
+			want := healthy.MayAlias(v(t, healthy, pn), v(t, healthy, qn), exit)
+			got := a.MayAlias(v(t, a, pn), v(t, a, qn), exit)
+			if want != got {
+				t.Errorf("MayAlias(%s,%s) = %v after recovery, healthy run says %v", pn, qn, got, want)
+			}
+		}
+	}
+}
+
+func TestClusterTimeoutDegradesEverything(t *testing.T) {
+	healthy, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeSource(testProgram, Config{
+		Mode: ModeSteensgaard, Workers: 4, ClusterTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("an impossible deadline must degrade, not fail: %v", err)
+	}
+	if len(a.Health) == 0 {
+		t.Fatal("Health should be populated")
+	}
+	for _, h := range a.Health {
+		if h.Status != HealthTimedOut || !h.Demoted {
+			t.Errorf("cluster %d: %+v, want timed-out+demoted under a 1ns deadline", h.ClusterID, h)
+		}
+	}
+	assertSound(t, healthy, a)
+}
+
+func TestRunTimeoutDegradesEverything(t *testing.T) {
+	healthy, err := AnalyzeSource(testProgram, Config{Mode: ModeSteensgaard, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeSource(testProgram, Config{
+		Mode: ModeSteensgaard, Workers: 4, RunTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("an expired run deadline must degrade, not fail: %v", err)
+	}
+	for _, h := range a.Health {
+		if h.Status != HealthTimedOut || !h.Demoted {
+			t.Errorf("cluster %d: %+v, want timed-out+demoted under an expired run deadline", h.ClusterID, h)
+		}
+	}
+	assertSound(t, healthy, a)
+}
+
+func TestCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeSourceContext(ctx, testProgram, Config{Mode: ModeSteensgaard, Workers: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled caller context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTimingLowerDirect(t *testing.T) {
+	// The frontend phase is measured directly; it must never go negative
+	// even though parallel FSCS makes Wall < FSCS.
+	a, err := AnalyzeSource(testProgram, Config{Mode: ModeAndersen, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Timing.Lower <= 0 {
+		t.Errorf("Timing.Lower = %v, want > 0", a.Timing.Lower)
 	}
 }
 
@@ -182,12 +382,29 @@ func TestBudgetTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Exhausted) == 0 {
+	if len(a.Exhausted()) == 0 {
 		t.Error("tiny budget should exhaust the monolithic cluster")
 	}
-	eng := a.Engine(a.Clusters[0].ID)
-	if eng == nil || !eng.Exhausted() {
-		t.Error("the engine should report exhaustion")
+	if len(a.Health) != 1 {
+		t.Fatalf("Health has %d entries, want 1", len(a.Health))
+	}
+	h := a.Health[0]
+	if h.Status != HealthExhausted || !h.Demoted {
+		t.Errorf("health = %+v, want exhausted+demoted", h)
+	}
+	if h.Attempts != 2 {
+		t.Errorf("ladder should retry once before demoting, got %d attempts", h.Attempts)
+	}
+	if !errorsIsBudget(h.Err) {
+		t.Errorf("health error = %v, want fscs.ErrBudget", h.Err)
+	}
+	// The demoted cluster has no engine; queries fall back soundly.
+	if eng := a.Engine(a.Clusters[0].ID); eng != nil {
+		t.Error("demoted cluster should have no engine")
+	}
+	exit := exitLoc(a)
+	if !a.MayAlias(v(t, a, "x"), v(t, a, "y"), exit) {
+		t.Error("fallback must keep the sound may-alias answer")
 	}
 }
 

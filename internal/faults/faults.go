@@ -1,0 +1,128 @@
+// Package faults provides deterministic fault injection for the
+// per-cluster FSCS scheduler. A Plan maps cluster IDs to faults; the
+// scheduler installs the plan's hook into each engine attempt (via
+// fscs.WithHook), so panics, slowness and forced budget exhaustion fire
+// at exact worklist positions instead of depending on wall-clock timing.
+// This is what makes the fault-tolerance layer testable without flaky
+// sleeps: a panic always happens on the same tuple of the same cluster.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bootstrap/internal/fscs"
+)
+
+// Kind selects what a fault does when it fires.
+type Kind uint8
+
+const (
+	// None is the zero fault; it never fires.
+	None Kind = iota
+	// Panic panics inside the engine's worklist loop, simulating an
+	// engine bug. The scheduler must recover it into a cluster failure.
+	Panic
+	// Slow sleeps Delay on every charged tuple, simulating a cluster that
+	// is too expensive to finish before its wall-clock deadline.
+	Slow
+	// Budget aborts the engine with an error wrapping fscs.ErrBudget,
+	// simulating budget exhaustion regardless of the configured budget.
+	Budget
+)
+
+var kindNames = [...]string{"none", "panic", "slow", "budget"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Fault describes one injected failure.
+type Fault struct {
+	Kind Kind
+	// AfterTuples arms the fault only once the engine has processed this
+	// many worklist tuples (0 = fire on the first tuple).
+	AfterTuples int64
+	// Delay is the per-tuple sleep of a Slow fault.
+	Delay time.Duration
+	// Attempts bounds how many engine attempts the fault fires on: 0
+	// means every attempt (the cluster can only be demoted), n > 0 means
+	// only the first n attempts (so a ladder retry recovers).
+	Attempts int
+}
+
+type state struct {
+	f        Fault
+	attempts int // engine attempts handed a hook so far
+}
+
+// Plan is a set of per-cluster faults. The zero value is unusable; use
+// NewPlan. A Plan is safe for concurrent use by the scheduler's workers.
+type Plan struct {
+	mu        sync.Mutex
+	byCluster map[int]*state
+}
+
+// NewPlan returns an empty fault plan.
+func NewPlan() *Plan { return &Plan{byCluster: map[int]*state{}} }
+
+// Set arms a fault for one cluster, replacing any previous fault for it.
+// It returns the plan for chaining.
+func (p *Plan) Set(clusterID int, f Fault) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.byCluster[clusterID] = &state{f: f}
+	return p
+}
+
+// Hook returns the engine hook for the next attempt on clusterID, or nil
+// when the cluster has no (remaining) fault. Each call counts as one
+// attempt against Fault.Attempts.
+func (p *Plan) Hook(clusterID int) fscs.Hook {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.byCluster[clusterID]
+	if !ok || st.f.Kind == None {
+		return nil
+	}
+	st.attempts++
+	if st.f.Attempts > 0 && st.attempts > st.f.Attempts {
+		return nil // fault spent: this attempt runs clean
+	}
+	f := st.f
+	return func(tuples int64) error {
+		if tuples <= f.AfterTuples {
+			return nil
+		}
+		switch f.Kind {
+		case Panic:
+			panic(fmt.Sprintf("faults: injected panic in cluster %d at tuple %d", clusterID, tuples))
+		case Slow:
+			time.Sleep(f.Delay)
+		case Budget:
+			return fmt.Errorf("faults: injected exhaustion in cluster %d: %w", clusterID, fscs.ErrBudget)
+		}
+		return nil
+	}
+}
+
+// Attempts reports how many engine attempts have been handed a hook for
+// clusterID — i.e. how often the scheduler (re)tried it.
+func (p *Plan) Attempts(clusterID int) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.byCluster[clusterID]; ok {
+		return st.attempts
+	}
+	return 0
+}

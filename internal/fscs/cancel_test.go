@@ -1,0 +1,92 @@
+package fscs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+const cancelSrc = `
+	int a, b;
+	int *x, *y;
+	void f1() { x = y; }
+	void main() {
+		x = &a;
+		y = &b;
+		while (*) { f1(); y = x; }
+	}
+`
+
+func TestContextCancelled(t *testing.T) {
+	h := newHarness(t, cancelSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := h.engineFor(t, WithContext(ctx))
+	err := e.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run under a cancelled context = %v, want context.Canceled", err)
+	}
+	if !e.Exhausted() || !errors.Is(e.Err(), context.Canceled) {
+		t.Errorf("Exhausted=%v Err=%v, want aborted with context.Canceled", e.Exhausted(), e.Err())
+	}
+	// Queries after cancellation degrade to the fallback and stay sound.
+	x, y := h.v(t, "x"), h.v(t, "y")
+	if !e.MayAlias(x, y, h.exitOf("main")) {
+		t.Error("cancelled engine must keep the sound fallback may-alias")
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	h := newHarness(t, cancelSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // the deadline is in the past before Run starts
+	e := h.engineFor(t, WithContext(ctx))
+	if err := e.Run(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Run past its deadline = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestHookAborts(t *testing.T) {
+	h := newHarness(t, cancelSrc)
+	boom := errors.New("boom")
+	e := h.engineFor(t, WithHook(func(tuples int64) error {
+		if tuples > 2 {
+			return boom
+		}
+		return nil
+	}))
+	if err := e.Run(); !errors.Is(err, boom) {
+		t.Errorf("Run with failing hook = %v, want boom", err)
+	}
+	if !e.Exhausted() {
+		t.Error("a hook error must mark the engine exhausted")
+	}
+}
+
+func TestHookBudgetWrap(t *testing.T) {
+	h := newHarness(t, cancelSrc)
+	e := h.engineFor(t, WithHook(func(tuples int64) error {
+		return fmt.Errorf("injected: %w", ErrBudget)
+	}))
+	if err := e.Run(); !errors.Is(err, ErrBudget) {
+		t.Errorf("Run with budget-wrapping hook = %v, want ErrBudget via errors.Is", err)
+	}
+}
+
+func TestBudgetCauseSurvivesLaterCancel(t *testing.T) {
+	h := newHarness(t, cancelSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	e := h.engineFor(t, WithBudget(3), WithContext(ctx))
+	if err := e.Run(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Run = %v, want ErrBudget", err)
+	}
+	cancel()
+	// The first cause wins: cancellation after exhaustion does not
+	// rewrite history.
+	if !errors.Is(e.Err(), ErrBudget) {
+		t.Errorf("Err = %v, want the original ErrBudget", e.Err())
+	}
+}

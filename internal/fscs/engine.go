@@ -1,8 +1,10 @@
 package fscs
 
 import (
+	"context"
 	"errors"
 	"sort"
+	"time"
 
 	"bootstrap/internal/andersen"
 	"bootstrap/internal/callgraph"
@@ -15,8 +17,37 @@ import (
 // analogue of the paper's 15-minute timeout on the unclustered analysis.
 var ErrBudget = errors.New("fscs: work budget exhausted")
 
+// ctxCheckInterval is how many worklist tuples may pass between
+// cancellation polls. Kept a power of two so the check compiles to a
+// mask; small enough that deadlines land within microseconds of real
+// workloads, large enough that ctx.Err() stays off the hot path.
+const ctxCheckInterval = 32
+
+// Hook observes every charged worklist tuple. It exists for deterministic
+// fault injection (package faults) and instrumentation: a hook may sleep
+// to simulate a slow cluster, panic to simulate an engine bug, or return
+// an error to abort the engine (the error becomes Run's result; wrap
+// ErrBudget to force the exhaustion path).
+type Hook func(tuples int64) error
+
 // Option configures an Engine.
 type Option func(*Engine)
+
+// WithContext attaches a cancellation context: the worklist loops poll it
+// at checkpoints and abort (soundly, via the Exhausted/fallback path) once
+// it is done. Run then returns the context's error.
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) { e.ctx = ctx }
+}
+
+// WithHook installs a per-tuple hook (see Hook). A nil hook is ignored.
+func WithHook(h Hook) Option {
+	return func(e *Engine) {
+		if h != nil {
+			e.hook = h
+		}
+	}
+}
 
 // WithFallback supplies a flow-insensitive analysis used when the
 // flow-sensitive walk loses precision (TUnknown); without it the engine
@@ -62,6 +93,9 @@ type Engine struct {
 	budget   int64 // 0 = unlimited
 	spent    int64
 	over     bool
+	cause    error           // first failure: ErrBudget, ctx.Err(), or a hook error
+	ctx      context.Context // optional cancellation; nil = never cancelled
+	hook     Hook            // optional fault-injection/instrumentation hook
 
 	// Summaries at function exits: key -> tuple set (by tuple key).
 	sums map[sumKey]map[string]SumTuple
@@ -116,20 +150,79 @@ func NewEngine(p *ir.Program, cg *callgraph.Graph, sa *steens.Analysis, cl *clus
 // Cluster returns the cluster this engine analyzes.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 
-// Exhausted reports whether the work budget was exceeded; results obtained
-// afterwards are partial.
+// Exhausted reports whether the engine aborted — budget exceeded,
+// deadline passed, or a hook fault; results obtained afterwards are
+// partial (queries degrade soundly to the fallback).
 func (e *Engine) Exhausted() bool { return e.over }
 
+// Err returns what stopped the engine: nil while healthy, ErrBudget on
+// exhaustion, the context error on cancellation, or the hook's error.
+func (e *Engine) Err() error { return e.cause }
+
+// fail marks the engine aborted, keeping the first cause.
+func (e *Engine) fail(err error) {
+	e.over = true
+	if e.cause == nil {
+		e.cause = err
+	}
+}
+
+// ctxErr reports the context's failure, treating an already-passed
+// deadline as exceeded even when the context's timer has not fired yet —
+// this keeps tiny (test) deadlines deterministic instead of racing the
+// runtime timer.
+func (e *Engine) ctxErr() error {
+	if err := e.ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := e.ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// checkpoint polls cancellation between worklist phases; reports false
+// once the engine must stop.
+func (e *Engine) checkpoint() bool {
+	if e.over {
+		return false
+	}
+	if e.ctx != nil {
+		if err := e.ctxErr(); err != nil {
+			e.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
 // charge consumes budget for one worklist tuple; reports false when the
-// budget is gone.
+// engine must stop (budget gone, context done, or hook fault).
 func (e *Engine) charge() bool {
+	if e.over {
+		return false
+	}
 	e.TuplesProcessed++
+	if e.hook != nil {
+		if err := e.hook(e.TuplesProcessed); err != nil {
+			e.fail(err)
+			return false
+		}
+	}
+	// Poll the context every ctxCheckInterval tuples — every tuple when a
+	// hook is installed, since hooks may sleep arbitrarily long.
+	if e.ctx != nil && (e.hook != nil || e.TuplesProcessed%ctxCheckInterval == 0) {
+		if err := e.ctxErr(); err != nil {
+			e.fail(err)
+			return false
+		}
+	}
 	if e.budget == 0 {
 		return true
 	}
 	e.spent++
 	if e.spent > e.budget {
-		e.over = true
+		e.fail(ErrBudget)
 		return false
 	}
 	return true
@@ -231,7 +324,7 @@ func (e *Engine) Summary(f ir.FuncID, ptr ir.VarID) []SumTuple {
 // token × widened-condition space), so this terminates.
 func (e *Engine) fixpoint(root sumKey) {
 	pending := map[sumKey]bool{root: true}
-	for changed := true; changed && !e.over; {
+	for changed := true; changed && e.checkpoint(); {
 		changed = false
 		before := len(pending)
 		keys := make([]sumKey, 0, len(pending))

@@ -37,7 +37,7 @@ type fwdItem struct {
 // through unchanged (a sound may-approximation when the callee could kill
 // it).
 func (e *Engine) ForwardHolders(src Token, loc ir.Loc) []ir.VarID {
-	if src.Kind != TAddr {
+	if src.Kind != TAddr || !e.checkpoint() {
 		return nil
 	}
 	obj := src.V

@@ -432,7 +432,14 @@ func (e *Engine) MustAliasInContext(p, q ir.VarID, loc ir.Loc, ctx Context) (boo
 // Steensgaard-depth order (Algorithm 2's dovetailing), then FSCI value
 // sets for every cluster pointer at each of its occurrences in St_P. This
 // is the per-cluster unit of work the paper's Table 1 times.
+//
+// On abort Run returns the cause: ErrBudget, the context's error
+// (WithContext), or the hook's error (WithHook). Results computed so far
+// remain queryable; queries degrade soundly to the fallback.
 func (e *Engine) Run() error {
+	if !e.checkpoint() {
+		return e.cause
+	}
 	for _, f := range e.SummaryFuncs() {
 		vars := make([]ir.VarID, 0, len(e.modStar[f]))
 		for v := range e.modStar[f] {
@@ -448,7 +455,7 @@ func (e *Engine) Run() error {
 		for _, v := range vars {
 			e.Summary(f, v)
 			if e.over {
-				return ErrBudget
+				return e.cause
 			}
 		}
 	}
@@ -466,7 +473,7 @@ func (e *Engine) Run() error {
 		for _, loc := range occ[p] {
 			e.PointsToAt(p, loc)
 			if e.over {
-				return ErrBudget
+				return e.cause
 			}
 		}
 	}

@@ -19,6 +19,11 @@ import (
 // returns the current (possibly still growing) tuple sets.
 func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup func(ir.FuncID, ir.VarID) map[string]SumTuple) map[string]SumTuple {
 	out := map[string]SumTuple{}
+	if !e.checkpoint() {
+		// Cancelled: return no sources. Callers observe e.over and widen
+		// to the fallback, so an empty set here stays sound.
+		return out
+	}
 	if start.Kind != TVar {
 		t := SumTuple{Src: start, Cond: TrueCond()}
 		out[t.key()] = t
