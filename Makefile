@@ -20,5 +20,9 @@ race:
 # detector.
 check: vet build race
 
+# bench smoke-runs every benchmark once (catching bit-rot without the
+# cost of real measurement) and regenerates the BENCH_fscs.json perf
+# trajectory that CI uploads as an artifact.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchtime=1x -count=1 -benchmem ./...
+	$(GO) run ./cmd/benchtab -rows sock,ctrace,autofs,raid,mt_daapd -scale 0.12 -fscs-json BENCH_fscs.json

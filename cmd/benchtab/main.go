@@ -33,6 +33,10 @@ var (
 
 	clusterTimeout = flag.Duration("cluster-timeout", 0, "per-cluster wall-clock deadline per engine attempt (0 = none)")
 	retries        = flag.Int("retries", 0, "degradation-ladder retries per failed cluster (0 = single attempt, the historical bench behavior)")
+
+	fscsJSON = flag.String("fscs-json", "", "write the FSCS perf trajectory (interned vs legacy, pipelined vs serial) to this file and exit")
+	perfReps = flag.Int("perf-reps", 3, "best-of-N repetitions for -fscs-json measurements")
+	timings  = flag.Bool("timings", false, "also print per-stage timing columns (fixed cover order, diff-friendly)")
 )
 
 func main() {
@@ -73,6 +77,29 @@ func main() {
 			suite = append(suite, b)
 		}
 	}
+	if *fscsJSON != "" {
+		report, err := bench.FSCSPerf(suite, opt, *perfReps, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*fscsJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFSCSJSON(f, report); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d workloads)\n", *fscsJSON, len(report.Points))
+		return
+	}
 	measured, err := bench.RunTable(suite, opt, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -80,6 +107,10 @@ func main() {
 	}
 	fmt.Printf("\nTable 1 (scale %.2f, %d simulated machines):\n\n", *scale, *parts)
 	fmt.Print(bench.FormatTable(measured))
+	if *timings {
+		fmt.Println("\nPer-stage timings (fixed cover order):")
+		fmt.Print(bench.FormatTimings(measured))
+	}
 	if *compare {
 		fmt.Println("\nPaper vs measured (shape comparison):")
 		fmt.Print(bench.FormatComparison(measured))

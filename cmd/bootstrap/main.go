@@ -48,6 +48,9 @@ var (
 	clusterTimeout = flag.Duration("cluster-timeout", 0, "per-cluster wall-clock deadline, the paper's 15-minute analogue (0 = none)")
 	retries        = flag.Int("retries", 1, "degradation-ladder retries per failed cluster, each halving budget and condition width (0 = demote immediately)")
 
+	noIntern   = flag.Bool("no-intern", false, "disable condition-interning memo tables (slower; results identical)")
+	noPipeline = flag.Bool("no-pipeline", false, "run the clustering cascade serially before FSCS instead of pipelined (slower; results identical)")
+
 	dumpIR     = flag.Bool("dump", false, "dump the lowered IR")
 	dotCFG     = flag.Bool("dot", false, "emit the CFGs in GraphViz DOT format")
 	dotSteens  = flag.Bool("dot-hierarchy", false, "emit the Steensgaard points-to hierarchy in DOT format")
@@ -115,6 +118,8 @@ func run(path string) error {
 		ClusterTimeout:    *clusterTimeout,
 		RunTimeout:        *runTimeout,
 		Retries:           ladderRetriesFlag(*retries),
+		DisableInterning:  *noIntern,
+		DisablePipelining: *noPipeline,
 	}
 	if *races {
 		cfg.Demand = lockset.LockDemand

@@ -17,6 +17,7 @@ package andersen
 
 import (
 	"sort"
+	"sync"
 
 	"bootstrap/internal/bitset"
 	"bootstrap/internal/ir"
@@ -58,6 +59,9 @@ type Analysis struct {
 	prog *ir.Program
 	pts  []*bitset.Set // var -> points-to set over VarIDs
 	rep  []int32       // cycle-elimination representative (identity without it)
+
+	clustersOnce sync.Once
+	clusters     []ObjCluster
 }
 
 type indirectCall struct {
@@ -385,30 +389,45 @@ func (a *Analysis) Targets(fptr ir.VarID) []ir.FuncID {
 	return out
 }
 
+// ObjCluster is one Andersen cluster: the pointers that may point at Obj.
+type ObjCluster struct {
+	Obj  ir.VarID
+	Ptrs []ir.VarID // ascending; callers must not modify
+}
+
 // Clusters returns the paper's Andersen clusters: for every object o
 // pointed at by someone, the set of pointers that may point to o. A pointer
 // appears in every cluster of every object it may target, so clusters form
 // a disjunctive (not disjoint) alias cover (Theorem 7).
-func (a *Analysis) Clusters() map[ir.VarID][]ir.VarID {
-	out := map[ir.VarID][]ir.VarID{}
-	for v := 0; v < a.prog.NumVars(); v++ {
-		a.PointsToSet(ir.VarID(v)).ForEach(func(o int) bool {
-			out[ir.VarID(o)] = append(out[ir.VarID(o)], ir.VarID(v))
-			return true
-		})
-	}
-	for o := range out {
-		sort.Slice(out[o], func(i, j int) bool { return out[o][i] < out[o][j] })
-	}
-	return out
+//
+// The slice is ordered by Obj, computed once and cached — an Analysis is
+// immutable after Analyze, so repeated calls (e.g. per oversized partition
+// in the cover builder, or from concurrent FSCS fallbacks) share it.
+func (a *Analysis) Clusters() []ObjCluster {
+	a.clustersOnce.Do(func() {
+		byObj := map[ir.VarID][]ir.VarID{}
+		// The outer loop ascends over v, so each Ptrs list is born sorted.
+		for v := 0; v < a.prog.NumVars(); v++ {
+			a.PointsToSet(ir.VarID(v)).ForEach(func(o int) bool {
+				byObj[ir.VarID(o)] = append(byObj[ir.VarID(o)], ir.VarID(v))
+				return true
+			})
+		}
+		a.clusters = make([]ObjCluster, 0, len(byObj))
+		for o, ptrs := range byObj {
+			a.clusters = append(a.clusters, ObjCluster{Obj: o, Ptrs: ptrs})
+		}
+		sort.Slice(a.clusters, func(i, j int) bool { return a.clusters[i].Obj < a.clusters[j].Obj })
+	})
+	return a.clusters
 }
 
 // MaxClusterSize returns the cardinality of the largest Andersen cluster.
 func (a *Analysis) MaxClusterSize() int {
 	max := 0
 	for _, c := range a.Clusters() {
-		if len(c) > max {
-			max = len(c)
+		if len(c.Ptrs) > max {
+			max = len(c.Ptrs)
 		}
 	}
 	return max

@@ -202,7 +202,13 @@ func TestClusters(t *testing.T) {
 			q = r;
 		}
 	`)
-	clusters := a.Clusters()
+	clusters := map[ir.VarID][]ir.VarID{}
+	for i, oc := range a.Clusters() {
+		clusters[oc.Obj] = oc.Ptrs
+		if i > 0 && a.Clusters()[i-1].Obj >= oc.Obj {
+			t.Fatalf("Clusters() not in ascending Obj order at %d", i)
+		}
+	}
 	// Cluster of a = {p, q}; of b = {q}; of c = {q, r}.
 	want := map[string][]string{
 		"a": {"p", "q"},

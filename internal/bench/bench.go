@@ -285,6 +285,38 @@ func FormatTable(rows []Row) string {
 	return b.String()
 }
 
+// coverOrder fixes the order of the per-cover timing columns. Columns
+// are emitted from this slice, never by ranging over a map, so repeated
+// benchtab runs diff cleanly.
+var coverOrder = []string{"steens-partition", "andersen-cluster", "no-clustering", "steens-fscs", "andersen-fscs"}
+
+// FormatTimings renders one timing column per cover stage, per row, in
+// the fixed coverOrder.
+func FormatTimings(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "Example")
+	for _, c := range coverOrder {
+		fmt.Fprintf(&b, " %16s", c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 16+17*len(coverOrder)))
+	for _, r := range rows {
+		cols := map[string]string{
+			"steens-partition": fmtDur(r.SteensTime, false),
+			"andersen-cluster": fmtDur(r.ClusterTime, false),
+			"no-clustering":    fmtDur(r.NoClusterTime, r.NoClusterTimedOut),
+			"steens-fscs":      fmtDur(r.SteensFSCS, false),
+			"andersen-fscs":    fmtDur(r.AndersenFSCS, false),
+		}
+		fmt.Fprintf(&b, "%-16s", r.Bench.Name)
+		for _, c := range coverOrder {
+			fmt.Fprintf(&b, " %16s", cols[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // FormatComparison renders paper-reported vs measured shape metrics, the
 // content of EXPERIMENTS.md.
 func FormatComparison(rows []Row) string {

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"bootstrap/internal/andersen"
+	"bootstrap/internal/bench/legacyfscs"
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/fscs"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/steens"
+	"bootstrap/internal/synth"
+)
+
+// FSCSPerfPoint is one workload's measurement of the PR's two hot-path
+// optimizations against the frozen pre-PR baseline (legacyfscs): the
+// per-cluster engine comparison (interned integer-keyed summaries vs
+// string-keyed maps with the per-round sorted worklist) and the
+// whole-program comparison (pipelined cascade + interned engines vs the
+// serial cascade + legacy engines).
+type FSCSPerfPoint struct {
+	Bench    string `json:"bench"`
+	Pointers int    `json:"pointers"`
+	Clusters int    `json:"clusters"`
+
+	InternedClusterNS int64   `json:"interned_cluster_ns"`
+	LegacyClusterNS   int64   `json:"legacy_cluster_ns"`
+	ClusterSpeedup    float64 `json:"cluster_speedup"`
+
+	PipelinedProgramNS int64   `json:"pipelined_program_ns"`
+	BaselineProgramNS  int64   `json:"baseline_program_ns"`
+	ProgramSpeedup     float64 `json:"program_speedup"`
+}
+
+// FSCSPerfReport is the BENCH_fscs.json payload: one point per workload
+// in fixed cover order, plus the knobs the numbers were taken under so
+// future PRs can tell whether a trajectory change is real or a config
+// drift.
+type FSCSPerfReport struct {
+	Date      string          `json:"date"`
+	Scale     float64         `json:"scale"`
+	Threshold int             `json:"threshold"`
+	Workers   int             `json:"workers"`
+	Reps      int             `json:"reps"`
+	Points    []FSCSPerfPoint `json:"points"`
+}
+
+// timeCover times one full sweep of engine runs over the cover and
+// returns the best (minimum) wall clock over reps sweeps — the standard
+// best-of-N discipline that filters scheduler noise from a trajectory
+// that later PRs will diff against.
+func timeCover(reps int, sweep func()) time.Duration {
+	best := time.Duration(-1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		sweep()
+		if d := time.Since(t0); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// LegacyAnalyzeProgram replays the pre-PR whole-program shape: the
+// clustering cascade runs serially to completion, and only then do
+// worker goroutines start the (string-keyed) FSCS engines. This is the
+// baseline side of the ProgramSpeedup column and of the root
+// BenchmarkAnalyzeProgram comparison.
+func LegacyAnalyzeProgram(prog *ir.Program, threshold, workers int) {
+	sa := steens.Analyze(prog)
+	_ = andersen.Analyze(prog)
+	cg := callgraph.Build(prog)
+	cover := cluster.BuildAndersen(prog, sa, threshold)
+
+	jobs := make(chan *cluster.Cluster)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				eng := legacyfscs.NewEngine(prog, cg, sa, c)
+				_ = eng.Run()
+			}
+		}()
+	}
+	for _, c := range cover {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// FSCSPerf measures every workload in the given order (callers pass a
+// fixed cover order so successive BENCH_fscs.json files diff cleanly).
+// reps < 1 defaults to 3.
+func FSCSPerf(benches []synth.Benchmark, opt Options, reps int, w io.Writer) (FSCSPerfReport, error) {
+	opt.fill()
+	if reps < 1 {
+		reps = 3
+	}
+	workers := runtime.GOMAXPROCS(0)
+	report := FSCSPerfReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Scale:     opt.Scale,
+		Threshold: opt.threshold(),
+		Workers:   workers,
+		Reps:      reps,
+	}
+	for _, b := range benches {
+		prog, err := frontend.LowerSource(synth.Generate(b, opt.Scale))
+		if err != nil {
+			return report, fmt.Errorf("fscsperf %s: %w", b.Name, err)
+		}
+		sa := steens.Analyze(prog)
+		cg := callgraph.Build(prog)
+		cover := cluster.BuildAndersen(prog, sa, opt.threshold())
+
+		p := FSCSPerfPoint{Bench: b.Name, Pointers: prog.NumVars(), Clusters: len(cover)}
+		p.InternedClusterNS = int64(timeCover(reps, func() {
+			for _, c := range cover {
+				eng := fscs.NewEngine(prog, cg, sa, c)
+				_ = eng.Run()
+			}
+		}))
+		p.LegacyClusterNS = int64(timeCover(reps, func() {
+			for _, c := range cover {
+				eng := legacyfscs.NewEngine(prog, cg, sa, c)
+				_ = eng.Run()
+			}
+		}))
+		p.ClusterSpeedup = ratio(p.LegacyClusterNS, p.InternedClusterNS)
+
+		cfg := core.Config{
+			Mode:              core.ModeAndersen,
+			Workers:           workers,
+			AndersenThreshold: opt.threshold(),
+		}
+		p.PipelinedProgramNS = int64(timeCover(reps, func() {
+			if _, err := core.AnalyzeProgramContext(context.Background(), prog, cfg); err != nil {
+				panic(err) // synthetic workloads never fail to analyze
+			}
+		}))
+		p.BaselineProgramNS = int64(timeCover(reps, func() {
+			LegacyAnalyzeProgram(prog, opt.threshold(), workers)
+		}))
+		p.ProgramSpeedup = ratio(p.BaselineProgramNS, p.PipelinedProgramNS)
+
+		if w != nil {
+			fmt.Fprintf(w, "%-16s cluster %6.2fx (%.1fms -> %.1fms)  program %6.2fx (%.1fms -> %.1fms)\n",
+				b.Name, p.ClusterSpeedup, ms(p.LegacyClusterNS), ms(p.InternedClusterNS),
+				p.ProgramSpeedup, ms(p.BaselineProgramNS), ms(p.PipelinedProgramNS))
+		}
+		report.Points = append(report.Points, p)
+	}
+	return report, nil
+}
+
+func ratio(base, opt int64) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(opt)
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// WriteFSCSJSON emits the report as indented JSON — the BENCH_fscs.json
+// artifact the CI bench job uploads.
+func WriteFSCSJSON(w io.Writer, r FSCSPerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

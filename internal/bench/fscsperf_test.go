@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bootstrap/internal/bench/legacyfscs"
+	"bootstrap/internal/callgraph"
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/fscs"
+	"bootstrap/internal/steens"
+	"bootstrap/internal/synth"
+)
+
+func perfRows(t *testing.T, names ...string) []synth.Benchmark {
+	t.Helper()
+	var rows []synth.Benchmark
+	for _, n := range names {
+		b, ok := synth.FindBenchmark(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", n)
+		}
+		rows = append(rows, b)
+	}
+	return rows
+}
+
+func TestFSCSPerfReport(t *testing.T) {
+	rows := perfRows(t, "sock", "ctrace")
+	rep, err := FSCSPerf(rows, Options{Scale: 0.05}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(rows) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(rows))
+	}
+	for i, p := range rep.Points {
+		if p.Bench != rows[i].Name {
+			t.Errorf("point %d is %s, want %s (fixed cover order)", i, p.Bench, rows[i].Name)
+		}
+		if p.Clusters <= 0 || p.Pointers <= 0 {
+			t.Errorf("%s: empty shape: %+v", p.Bench, p)
+		}
+		if p.ClusterSpeedup <= 0 || p.ProgramSpeedup <= 0 {
+			t.Errorf("%s: speedup not computed: %+v", p.Bench, p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFSCSJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back FSCSPerfReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_fscs.json does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) || back.Scale != rep.Scale {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}
+
+// TestLegacyEngineAgrees keeps the benchmark honest: the frozen baseline
+// and the interned engine must still answer points-to queries
+// identically, otherwise the speedup columns compare different analyses.
+func TestLegacyEngineAgrees(t *testing.T) {
+	for _, row := range perfRows(t, "sock", "ctrace") {
+		prog, err := frontend.LowerSource(synth.Generate(row, 0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := steens.Analyze(prog)
+		cg := callgraph.Build(prog)
+		exit := prog.Func(prog.Entry).Exit
+		for _, c := range cluster.BuildAndersen(prog, sa, 8) {
+			neu := fscs.NewEngine(prog, cg, sa, c)
+			old := legacyfscs.NewEngine(prog, cg, sa, c)
+			if err := neu.Run(); err != nil {
+				t.Fatalf("%s cluster %d: interned run: %v", row.Name, c.ID, err)
+			}
+			if err := old.Run(); err != nil {
+				t.Fatalf("%s cluster %d: legacy run: %v", row.Name, c.ID, err)
+			}
+			for _, p := range c.Pointers {
+				gotObjs, gotOK := neu.PointsToAt(p, exit)
+				wantObjs, wantOK := old.PointsToAt(p, exit)
+				if gotOK != wantOK || len(gotObjs) != len(wantObjs) {
+					t.Fatalf("%s cluster %d ptr %d: interned (%v,%v) vs legacy (%v,%v)",
+						row.Name, c.ID, p, gotObjs, gotOK, wantObjs, wantOK)
+				}
+				for i := range gotObjs {
+					if gotObjs[i] != wantObjs[i] {
+						t.Fatalf("%s cluster %d ptr %d: interned %v vs legacy %v",
+							row.Name, c.ID, p, gotObjs, wantObjs)
+					}
+				}
+			}
+		}
+	}
+}

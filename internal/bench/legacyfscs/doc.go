@@ -1,0 +1,7 @@
+// Package legacyfscs is a frozen copy of the pre-interning FSCS engine
+// (string-keyed summary tuples, per-round sorted worklist), kept solely
+// as the baseline side of the perf benchmarks and the BENCH_fscs.json
+// emitter. It must never be imported by production code: the live
+// engine is internal/fscs. Do not fix or extend this package — its
+// whole value is staying identical to the code it was snapshotted from.
+package legacyfscs

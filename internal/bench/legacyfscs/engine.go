@@ -1,4 +1,4 @@
-package fscs
+package legacyfscs
 
 import (
 	"context"
@@ -9,7 +9,6 @@ import (
 	"bootstrap/internal/andersen"
 	"bootstrap/internal/callgraph"
 	"bootstrap/internal/cluster"
-	"bootstrap/internal/intern"
 	"bootstrap/internal/ir"
 	"bootstrap/internal/steens"
 )
@@ -70,17 +69,14 @@ func WithBudget(n int64) Option {
 	return func(e *Engine) { e.budget = n }
 }
 
-// WithInterning toggles the hash-consed condition fast path (default on):
-// the With/And memo tables that make repeated conjunction O(1). Turning it
-// off recomputes every conjunction structurally — the representation stays
-// interned, so results are bit-for-bit identical; only the work changes.
-func WithInterning(on bool) Option {
-	return func(e *Engine) { e.internMemo = on }
-}
-
 type sumKey struct {
 	f   ir.FuncID
 	ptr ir.VarID
+}
+
+type ptsKey struct {
+	v   ir.VarID
+	loc ir.Loc
 }
 
 // Engine runs the FSCS analysis for one cluster. An Engine is not safe for
@@ -92,31 +88,25 @@ type Engine struct {
 	sa   *steens.Analysis
 	cl   *cluster.Cluster
 
-	fallback   *andersen.Analysis
-	maxCond    int
-	internMemo bool
-	budget     int64 // 0 = unlimited
-	spent      int64
-	over       bool
-	cause      error           // first failure: ErrBudget, ctx.Err(), or a hook error
-	ctx        context.Context // optional cancellation; nil = never cancelled
-	hook       Hook            // optional fault-injection/instrumentation hook
+	fallback *andersen.Analysis
+	maxCond  int
+	budget   int64 // 0 = unlimited
+	spent    int64
+	over     bool
+	cause    error           // first failure: ErrBudget, ctx.Err(), or a hook error
+	ctx      context.Context // optional cancellation; nil = never cancelled
+	hook     Hook            // optional fault-injection/instrumentation hook
 
-	// tab hash-conses atoms and conditions to dense integer IDs; every
-	// internal tuple, worklist item and cache below is keyed by these IDs
-	// (or by small comparable structs of them) instead of strings.
-	tab *condTab
-
-	// Summaries at function exits: key -> interned tuple set.
-	sums map[sumKey]tupSet
+	// Summaries at function exits: key -> tuple set (by tuple key).
+	sums map[sumKey]map[string]SumTuple
 	done map[sumKey]bool
 
 	// Variables each function may (transitively) modify, restricted to V_P.
 	modStar map[ir.FuncID]map[ir.VarID]bool
 
-	// FSCI value-set cache: packed (v, loc) -> resolved sources.
-	ptsVR     map[uint64]*valueResult
-	ptsInProg map[uint64]bool
+	// FSCI value-set cache: (v, loc) -> resolved sources.
+	ptsVR     map[ptsKey]*valueResult
+	ptsInProg map[ptsKey]bool
 
 	// hasAssumes is set when the cluster's slice contains path-sensitivity
 	// assume nodes; terminated walk tokens then keep walking backwards to
@@ -133,21 +123,19 @@ type Engine struct {
 // graph must be built from the same (devirtualized) program.
 func NewEngine(p *ir.Program, cg *callgraph.Graph, sa *steens.Analysis, cl *cluster.Cluster, opts ...Option) *Engine {
 	e := &Engine{
-		prog:       p,
-		cg:         cg,
-		sa:         sa,
-		cl:         cl,
-		maxCond:    8,
-		internMemo: true,
-		sums:       map[sumKey]tupSet{},
-		done:       map[sumKey]bool{},
-		ptsVR:      map[uint64]*valueResult{},
-		ptsInProg:  map[uint64]bool{},
+		prog:      p,
+		cg:        cg,
+		sa:        sa,
+		cl:        cl,
+		maxCond:   8,
+		sums:      map[sumKey]map[string]SumTuple{},
+		done:      map[sumKey]bool{},
+		ptsVR:     map[ptsKey]*valueResult{},
+		ptsInProg: map[ptsKey]bool{},
 	}
 	for _, o := range opts {
 		o(e)
 	}
-	e.tab = newCondTab(e.maxCond, e.internMemo)
 	for _, loc := range cl.Stmts {
 		op := p.Node(loc).Stmt.Op
 		if op == ir.OpAssumeEq || op == ir.OpAssumeNeq {
@@ -170,11 +158,6 @@ func (e *Engine) Exhausted() bool { return e.over }
 // Err returns what stopped the engine: nil while healthy, ErrBudget on
 // exhaustion, the context error on cancellation, or the hook's error.
 func (e *Engine) Err() error { return e.cause }
-
-// CondsInterned returns the number of distinct conditions hash-consed so
-// far (≥ 1: the true condition) — an instrumentation window into the
-// interning tables.
-func (e *Engine) CondsInterned() int { return e.tab.conds.Len() }
 
 // fail marks the engine aborted, keeping the first cause.
 func (e *Engine) fail(err error) {
@@ -333,114 +316,71 @@ func (e *Engine) Summary(f ir.FuncID, ptr ir.VarID) []SumTuple {
 	if !e.done[key] {
 		e.fixpoint(key)
 	}
-	return e.tupleList(e.sums[key])
+	return tupleList(e.sums[key])
 }
 
-// sumRing is an index-ordered ring-buffer FIFO over summary keys — the
-// fixpoint worklist. Compared to the former sorted-map-per-round loop it
-// never re-sorts: keys are processed in discovery order and re-enqueued
-// only when a dependency actually grew.
-type sumRing struct {
-	buf        []sumKey
-	head, tail int // tail - head = live count; indexes are masked
-}
-
-func (r *sumRing) empty() bool { return r.head == r.tail }
-
-func (r *sumRing) push(k sumKey) {
-	if r.tail-r.head == len(r.buf) {
-		grown := make([]sumKey, intern.NextPow2(2*(len(r.buf)+1)))
-		n := r.tail - r.head
-		for i := 0; i < n; i++ {
-			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
-		}
-		r.buf, r.head, r.tail = grown, 0, n
-	}
-	r.buf[r.tail&(len(r.buf)-1)] = k
-	r.tail++
-}
-
-func (r *sumRing) pop() sumKey {
-	k := r.buf[r.head&(len(r.buf)-1)]
-	r.head++
-	return k
-}
-
-// fixpoint computes root and every summary it transitively requests,
+// fixpoint computes key and every summary it transitively requests,
 // iterating until no tuple set grows. Tuple sets are monotone (finite
-// token × widened-condition space), so this terminates; the least fixpoint
-// is unique, so the processing order only affects work, not results.
-//
-// The worklist is a FIFO ring buffer with dependency tracking: when key
-// k's walk reads a callee summary g, the edge g → k is recorded, and k is
-// re-enqueued only when g's tuple set actually grows — replacing the old
-// scheme that re-sorted and re-ran every pending key each round.
+// token × widened-condition space), so this terminates.
 func (e *Engine) fixpoint(root sumKey) {
-	var ring sumRing
-	queued := map[sumKey]bool{}
-	members := map[sumKey]bool{}
-	deps := map[sumKey][]sumKey{}
-	depSeen := map[[2]sumKey]bool{}
-
-	enqueue := func(k sumKey) {
-		if !queued[k] {
-			queued[k] = true
-			ring.push(k)
+	pending := map[sumKey]bool{root: true}
+	for changed := true; changed && e.checkpoint(); {
+		changed = false
+		before := len(pending)
+		keys := make([]sumKey, 0, len(pending))
+		for k := range pending {
+			keys = append(keys, k)
 		}
-	}
-	discover := func(k sumKey) {
-		if !members[k] {
-			members[k] = true
-			enqueue(k)
-		}
-	}
-	discover(root)
-
-	for !ring.empty() && e.checkpoint() {
-		k := ring.pop()
-		queued[k] = false
-
-		lookup := func(g ir.FuncID, ptr ir.VarID) tupSet {
-			gk := sumKey{f: g, ptr: ptr}
-			if !e.done[gk] {
-				discover(gk)
-				edge := [2]sumKey{gk, k}
-				if !depSeen[edge] {
-					depSeen[edge] = true
-					deps[gk] = append(deps[gk], k)
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].f != keys[j].f {
+				return keys[i].f < keys[j].f
+			}
+			return keys[i].ptr < keys[j].ptr
+		})
+		for _, k := range keys {
+			out := e.computeExitSummary(k, pending)
+			cur := e.sums[k]
+			if cur == nil {
+				cur = map[string]SumTuple{}
+				e.sums[k] = cur
+			}
+			for tk, tup := range out {
+				if _, ok := cur[tk]; !ok {
+					cur[tk] = tup
+					changed = true
 				}
 			}
-			return e.sums[gk]
 		}
-		f := e.prog.Func(k.f)
-		out := e.walkBack(k.f, VarTok(k.ptr), e.prog.Node(f.Exit).Preds, lookup)
-
-		cur := e.sums[k]
-		if cur == nil {
-			cur = tupSet{}
-			e.sums[k] = cur
-		}
-		grew := false
-		for t := range out {
-			if cur.add(t) {
-				grew = true
-			}
-		}
-		if grew {
-			for _, d := range deps[k] {
-				enqueue(d)
-			}
+		// Newly discovered callee summaries must be computed before the
+		// fixpoint may terminate, even when no tuple set grew this round.
+		if len(pending) > before {
+			changed = true
 		}
 	}
-	for k := range members {
+	for k := range pending {
 		e.done[k] = true
 	}
 	e.SummariesBuilt = len(e.done)
 }
 
+// computeExitSummary runs the backward walk for one (function, pointer)
+// pair from the function's exit. Callee summaries that are not final are
+// read as-is and the callee key joins pending, to be iterated by fixpoint.
+func (e *Engine) computeExitSummary(k sumKey, pending map[sumKey]bool) map[string]SumTuple {
+	f := e.prog.Func(k.f)
+	lookup := func(g ir.FuncID, ptr ir.VarID) map[string]SumTuple {
+		gk := sumKey{f: g, ptr: ptr}
+		if !e.done[gk] {
+			pending[gk] = true
+		}
+		return e.sums[gk]
+	}
+	return e.walkBack(k.f, VarTok(k.ptr), e.prog.Node(f.Exit).Preds, lookup)
+}
+
 // summaryLookup is the default lookup for walks outside the fixpoint: it
 // computes callee summaries fully on demand.
-func (e *Engine) summaryLookup(g ir.FuncID, ptr ir.VarID) tupSet {
+func (e *Engine) summaryLookup(g ir.FuncID, ptr ir.VarID) map[string]SumTuple {
 	key := sumKey{f: g, ptr: ptr}
 	if !e.done[key] {
 		e.fixpoint(key)
@@ -454,15 +394,13 @@ func (e *Engine) summaryLookup(g ir.FuncID, ptr ir.VarID) tupSet {
 func (e *Engine) SummaryAt(loc ir.Loc, ptr ir.VarID) []SumTuple {
 	n := e.prog.Node(loc)
 	out := e.walkBack(n.Fn, VarTok(ptr), n.Preds, e.summaryLookup)
-	return e.tupleList(out)
+	return tupleList(out)
 }
 
-// tupleList materializes an interned tuple set as public SumTuples in the
-// canonical (key-sorted) order the API has always used.
-func (e *Engine) tupleList(m tupSet) []SumTuple {
+func tupleList(m map[string]SumTuple) []SumTuple {
 	out := make([]SumTuple, 0, len(m))
-	for t := range m {
-		out = append(out, SumTuple{Src: t.tok, Cond: e.tab.cond(t.cond)})
+	for _, t := range m {
+		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
 	return out

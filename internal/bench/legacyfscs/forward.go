@@ -1,7 +1,8 @@
-package fscs
+package legacyfscs
 
 import (
 	"sort"
+	"strconv"
 
 	"bootstrap/internal/ir"
 )
@@ -21,12 +22,11 @@ import (
 // intersection-based result).
 
 // fwdItem tracks one pointer holding the propagated source value when
-// control reaches loc (before executing it). It is a comparable struct —
-// the worklist's seen-set keys on it directly, no string building.
+// control reaches loc (before executing it).
 type fwdItem struct {
 	loc    ir.Loc
 	holder ir.VarID
-	cond   CondID
+	cond   Cond
 }
 
 // ForwardHolders propagates the value named by src (an object address)
@@ -43,15 +43,15 @@ func (e *Engine) ForwardHolders(src Token, loc ir.Loc) []ir.VarID {
 	obj := src.V
 
 	holders := map[ir.VarID]bool{}
-	seen := map[fwdItem]bool{}
+	seen := map[string]bool{}
 	var work []fwdItem
-	push := func(l ir.Loc, h ir.VarID, c CondID) {
-		it := fwdItem{loc: l, holder: h, cond: c}
-		if seen[it] {
+	push := func(l ir.Loc, h ir.VarID, c Cond) {
+		key := strconv.Itoa(int(l)) + "|" + strconv.Itoa(int(h)) + "|" + c.Key()
+		if seen[key] {
 			return
 		}
-		seen[it] = true
-		work = append(work, it)
+		seen[key] = true
+		work = append(work, fwdItem{loc: l, holder: h, cond: c})
 	}
 
 	// Gen points: every x = &obj in the slice starts a propagation with x
@@ -60,7 +60,7 @@ func (e *Engine) ForwardHolders(src Token, loc ir.Loc) []ir.VarID {
 		st := e.prog.Node(l).Stmt
 		if st.Op == ir.OpAddr && st.Src == obj {
 			for _, s := range e.prog.Node(l).Succs {
-				push(s, st.Dst, TrueCondID)
+				push(s, st.Dst, TrueCond())
 			}
 		}
 	}
@@ -109,7 +109,7 @@ func (e *Engine) ForwardHolders(src Token, loc ir.Loc) []ir.VarID {
 // fwdOut is a post-statement holder.
 type fwdOut struct {
 	holder ir.VarID
-	cond   CondID
+	cond   Cond
 }
 
 // fwdTransfer applies the statement at it.loc to a holder, forward: copies
@@ -147,7 +147,7 @@ func (e *Engine) fwdTransfer(it fwdItem) []fwdOut {
 		killed := st.Dst == h
 		// If the value sits in a cell s may reference, it flows to dst.
 		if e.sa.LocClass(h) == e.sa.ContentClass(st.Src) {
-			c := e.tab.with(cond, Atom{Loc: it.loc, Op: OpPointsTo, X: st.Src, Y: h})
+			c := cond.With(Atom{Loc: it.loc, Op: OpPointsTo, X: st.Src, Y: h}, e.maxCond)
 			outs = append(outs, fwdOut{holder: st.Dst, cond: c})
 		}
 		if !killed {
@@ -165,14 +165,14 @@ func (e *Engine) fwdTransfer(it fwdItem) []fwdOut {
 			if known {
 				for _, o := range pt {
 					if e.cl.HasVar(o) {
-						c := e.tab.with(cond, Atom{Loc: it.loc, Op: OpPointsTo, X: st.Dst, Y: o})
+						c := cond.With(Atom{Loc: it.loc, Op: OpPointsTo, X: st.Dst, Y: o}, e.maxCond)
 						outs = append(outs, fwdOut{holder: o, cond: c})
 					}
 				}
 			} else {
 				for _, o := range e.sa.PointsToVars(st.Dst) {
 					if e.cl.HasVar(o) {
-						c := e.tab.with(cond, Atom{Loc: it.loc, Op: OpPointsTo, X: st.Dst, Y: o})
+						c := cond.With(Atom{Loc: it.loc, Op: OpPointsTo, X: st.Dst, Y: o}, e.maxCond)
 						outs = append(outs, fwdOut{holder: o, cond: c})
 					}
 				}
@@ -183,7 +183,7 @@ func (e *Engine) fwdTransfer(it fwdItem) []fwdOut {
 			outs = outs[1:] // drop the unconditional keep
 			outs = append(outs, fwdOut{
 				holder: h,
-				cond:   e.tab.with(cond, Atom{Loc: it.loc, Op: OpNotPointsTo, X: st.Dst, Y: h}),
+				cond:   cond.With(Atom{Loc: it.loc, Op: OpNotPointsTo, X: st.Dst, Y: h}, e.maxCond),
 			})
 		}
 		return outs
@@ -195,7 +195,7 @@ func (e *Engine) fwdTransfer(it fwdItem) []fwdOut {
 		if st.Op == ir.OpAssumeNeq {
 			op = OpDiffTarget
 		}
-		return []fwdOut{{holder: h, cond: e.tab.with(cond, Atom{Loc: it.loc, Op: op, X: st.Dst, Y: st.Src})}}
+		return []fwdOut{{holder: h, cond: cond.With(Atom{Loc: it.loc, Op: op, X: st.Dst, Y: st.Src}, e.maxCond)}}
 	}
 	return keep
 }

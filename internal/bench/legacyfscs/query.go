@@ -1,10 +1,9 @@
-package fscs
+package legacyfscs
 
 import (
 	"fmt"
 	"sort"
 
-	"bootstrap/internal/intern"
 	"bootstrap/internal/ir"
 )
 
@@ -37,29 +36,28 @@ func (e *Engine) collectValues(f ir.FuncID, ptr ir.VarID, startLocs []ir.Loc) *v
 		v     ir.VarID
 		start []ir.Loc
 	}
-	// A frame's start locations are determined by its call site (the
-	// initial frame is the only one with caller-supplied starts), so
-	// (f, v, callsite) identifies a frame; NoLoc marks the initial frame.
-	type frameKey struct {
-		f  ir.FuncID
-		v  ir.VarID
-		cs ir.Loc
-	}
-	seen := map[frameKey]bool{}
+	seen := map[string]bool{}
 	queue := []frame{{f: f, v: ptr, start: startLocs}}
-	seen[frameKey{f: f, v: ptr, cs: ir.NoLoc}] = true
+	key := func(fr frame) string {
+		k := fmt.Sprintf("%d|%d", fr.f, fr.v)
+		for _, l := range fr.start {
+			k += fmt.Sprintf("|%d", l)
+		}
+		return k
+	}
+	seen[key(queue[0])] = true
 
 	for len(queue) > 0 {
 		fr := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		tuples := e.walkBack(fr.f, VarTok(fr.v), fr.start, e.summaryLookup)
-		for t := range tuples {
-			if !e.satisfiable(t.cond) {
+		for _, tup := range tuples {
+			if !e.satisfiable(tup.Cond) {
 				continue
 			}
-			switch t.tok.Kind {
+			switch tup.Src.Kind {
 			case TAddr:
-				vr.objs[t.tok.V] = true
+				vr.objs[tup.Src.V] = true
 			case TNull:
 				vr.null = true
 			case TUnknown:
@@ -77,10 +75,10 @@ func (e *Engine) collectValues(f ir.FuncID, ptr ir.VarID, startLocs []ir.Loc) *v
 				}
 				for _, g := range callers {
 					for _, cs := range e.cg.CallSitesIn(g, fr.f) {
-						k := frameKey{f: g, v: t.tok.V, cs: cs}
-						if !seen[k] {
+						nf := frame{f: g, v: tup.Src.V, start: e.prog.Node(cs).Preds}
+						if k := key(nf); !seen[k] {
 							seen[k] = true
-							queue = append(queue, frame{f: g, v: t.tok.V, start: e.prog.Node(cs).Preds})
+							queue = append(queue, nf)
 						}
 					}
 				}
@@ -97,14 +95,9 @@ func (e *Engine) collectValues(f ir.FuncID, ptr ir.VarID, startLocs []ir.Loc) *v
 // satisfiable checks a tuple's points-to constraints against the FSCI
 // points-to sets, as Section 3 prescribes ("the satisfiability of cond can
 // be checked at the time of computing the frontier"). Unresolvable atoms
-// are assumed satisfiable, which is sound for may-aliasing. The true
-// condition (no atoms) short-circuits without touching the tables.
-func (e *Engine) satisfiable(c CondID) bool {
-	if c == TrueCondID {
-		return true
-	}
-	for _, aid := range e.tab.atomIDsOf(c) {
-		a := e.tab.atoms.Value(aid)
+// are assumed satisfiable, which is sound for may-aliasing.
+func (e *Engine) satisfiable(c Cond) bool {
+	for _, a := range c.Atoms() {
 		switch a.Op {
 		case OpPointsTo:
 			pt, known := e.PointsToAt(a.X, a.Loc)
@@ -162,10 +155,9 @@ func intersects(a, b []ir.VarID) bool {
 
 // valuesAt returns the cached flow-sensitive context-insensitive value set
 // of v at loc. While the set is being computed (a cyclic dependency) it
-// returns a conservative unknown result. The cache is keyed by the packed
-// (v, loc) pair — one map probe on an integer, no struct hashing.
+// returns a conservative unknown result.
 func (e *Engine) valuesAt(v ir.VarID, loc ir.Loc) *valueResult {
-	k := intern.Pack2x32(int32(v), int32(loc))
+	k := ptsKey{v: v, loc: loc}
 	if vr, ok := e.ptsVR[k]; ok {
 		return vr
 	}
@@ -341,32 +333,24 @@ func (e *Engine) collectValuesInContext(ptr ir.VarID, startLocs []ir.Loc, ctx Co
 		}
 		return e.prog.Node(ctx[depth]).Stmt.Callee
 	}
-	// The start locations of every pushed frame are determined by its
-	// depth (the predecessors of ctx[depth+1]), and the initial frame is
-	// the only one at depth len(ctx)-1 with caller-supplied starts, so
-	// (depth, v) identifies a frame.
-	type frameKey struct {
-		depth int
-		v     ir.VarID
-	}
-	seen := map[frameKey]bool{}
+	seen := map[string]bool{}
 	queue := []frame{{v: ptr, start: startLocs, depth: len(ctx) - 1}}
 	for len(queue) > 0 {
 		fr := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		k := frameKey{depth: fr.depth, v: fr.v}
+		k := fmt.Sprintf("%d|%d|%v", fr.depth, fr.v, fr.start)
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
 		tuples := e.walkBack(fnAt(fr.depth), VarTok(fr.v), fr.start, e.summaryLookup)
-		for t := range tuples {
-			if !e.satisfiable(t.cond) {
+		for _, tup := range tuples {
+			if !e.satisfiable(tup.Cond) {
 				continue
 			}
-			switch t.tok.Kind {
+			switch tup.Src.Kind {
 			case TAddr:
-				vr.objs[t.tok.V] = true
+				vr.objs[tup.Src.V] = true
 			case TNull:
 				vr.null = true
 			case TUnknown:
@@ -378,7 +362,7 @@ func (e *Engine) collectValuesInContext(ptr ir.VarID, startLocs []ir.Loc, ctx Co
 				}
 				cs := ctx[fr.depth]
 				queue = append(queue, frame{
-					v:     t.tok.V,
+					v:     tup.Src.V,
 					start: e.prog.Node(cs).Preds,
 					depth: fr.depth - 1,
 				})

@@ -1,6 +1,8 @@
-package fscs
+package legacyfscs
 
 import (
+	"strconv"
+
 	"bootstrap/internal/ir"
 )
 
@@ -13,20 +15,18 @@ import (
 // call nodes, and returning the set of sources: tokens at f's entry (TVar)
 // or terminated sequences (TAddr / TNull / TUnknown).
 //
-// Conditions travel as interned CondIDs and worklist deduplication is a
-// comparable-struct set — no string keys anywhere on this path.
-//
 // lookup supplies callee exit summaries; during the recursion fixpoint it
 // returns the current (possibly still growing) tuple sets.
-func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup func(ir.FuncID, ir.VarID) tupSet) tupSet {
-	out := tupSet{}
+func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup func(ir.FuncID, ir.VarID) map[string]SumTuple) map[string]SumTuple {
+	out := map[string]SumTuple{}
 	if !e.checkpoint() {
 		// Cancelled: return no sources. Callers observe e.over and widen
 		// to the fallback, so an empty set here stays sound.
 		return out
 	}
 	if start.Kind != TVar {
-		out.add(tup{tok: start, cond: TrueCondID})
+		t := SumTuple{Src: start, Cond: TrueCond()}
+		out[t.key()] = t
 		return out
 	}
 	entry := e.prog.Func(f).Entry
@@ -34,36 +34,37 @@ func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup f
 	type item struct {
 		loc  ir.Loc
 		tok  Token
-		cond CondID
+		cond Cond
 	}
 	var work []item
-	seen := map[item]bool{}
+	seen := map[string]bool{}
 
-	record := func(t Token, c CondID) {
-		out.add(tup{tok: t, cond: c})
+	record := func(t Token, c Cond) {
+		tup := SumTuple{Src: t, Cond: c}
+		out[tup.key()] = tup
 	}
-	push := func(loc ir.Loc, t Token, c CondID) {
+	push := func(loc ir.Loc, t Token, c Cond) {
 		if t.Kind != TVar && !e.hasAssumes {
 			// No path constraints to collect: terminated sequences record
 			// immediately.
 			record(t, c)
 			return
 		}
-		it := item{loc: loc, tok: t, cond: c}
-		if seen[it] {
+		key := strconv.Itoa(int(loc)) + "|" + t.String() + "|" + c.Key()
+		if seen[key] {
 			return
 		}
-		seen[it] = true
-		work = append(work, it)
+		seen[key] = true
+		work = append(work, item{loc: loc, tok: t, cond: c})
 	}
 	if len(startLocs) == 0 {
 		// Querying at the function entry: the token's value is whatever it
 		// holds on entry.
-		record(start, TrueCondID)
+		record(start, TrueCond())
 		return out
 	}
 	for _, l := range startLocs {
-		push(l, start, TrueCondID)
+		push(l, start, TrueCond())
 	}
 
 	for len(work) > 0 {
@@ -96,14 +97,14 @@ func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup f
 // through a statement.
 type outcome struct {
 	tok  Token
-	cond CondID
+	cond Cond
 }
 
 // transfer implements Algorithm 4: the effect of the statement at loc on a
 // tracked token, backwards. It returns the possible outcomes (several when
 // a points-to relation cannot be resolved and both cases are tracked under
 // constraints).
-func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.FuncID, ir.VarID) tupSet) []outcome {
+func (e *Engine) transfer(loc ir.Loc, tok Token, cond Cond, lookup func(ir.FuncID, ir.VarID) map[string]SumTuple) []outcome {
 	n := e.prog.Node(loc)
 	st := n.Stmt
 	q := tok.V
@@ -121,7 +122,7 @@ func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.Fun
 			if st.Op == ir.OpAssumeNeq {
 				op = OpDiffTarget
 			}
-			return []outcome{{tok: tok, cond: e.tab.with(cond, Atom{Loc: loc, Op: op, X: st.Dst, Y: st.Src})}}
+			return []outcome{{tok: tok, cond: cond.With(Atom{Loc: loc, Op: op, X: st.Dst, Y: st.Src}, e.maxCond)}}
 		}
 		return pass
 	}
@@ -154,7 +155,7 @@ func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.Fun
 		if st.Op == ir.OpAssumeNeq {
 			op = OpDiffTarget
 		}
-		return []outcome{{tok: tok, cond: e.tab.with(cond, Atom{Loc: loc, Op: op, X: st.Dst, Y: st.Src})}}
+		return []outcome{{tok: tok, cond: cond.With(Atom{Loc: loc, Op: op, X: st.Dst, Y: st.Src}, e.maxCond)}}
 
 	case ir.OpCopy:
 		if st.Dst == q {
@@ -188,7 +189,7 @@ func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.Fun
 				if e.sa.LocClass(o) == e.sa.ContentClass(s) {
 					outs = append(outs, outcome{
 						tok:  VarTok(o),
-						cond: e.tab.with(cond, Atom{Loc: loc, Op: OpPointsTo, X: s, Y: o}),
+						cond: cond.With(Atom{Loc: loc, Op: OpPointsTo, X: s, Y: o}, e.maxCond),
 					})
 				}
 			}
@@ -210,7 +211,7 @@ func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.Fun
 			}
 			outs = append(outs, outcome{
 				tok:  VarTok(o),
-				cond: e.tab.with(cond, Atom{Loc: loc, Op: OpPointsTo, X: s, Y: o}),
+				cond: cond.With(Atom{Loc: loc, Op: OpPointsTo, X: s, Y: o}, e.maxCond),
 			})
 		}
 		if len(outs) == 0 {
@@ -229,8 +230,8 @@ func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.Fun
 		}
 		both := func() []outcome {
 			return []outcome{
-				{tok: VarTok(r), cond: e.tab.with(cond, Atom{Loc: loc, Op: OpPointsTo, X: d, Y: q})},
-				{tok: tok, cond: e.tab.with(cond, Atom{Loc: loc, Op: OpNotPointsTo, X: d, Y: q})},
+				{tok: VarTok(r), cond: cond.With(Atom{Loc: loc, Op: OpPointsTo, X: d, Y: q}, e.maxCond)},
+				{tok: tok, cond: cond.With(Atom{Loc: loc, Op: OpNotPointsTo, X: d, Y: q}, e.maxCond)},
 			}
 		}
 		if e.sa.SamePartition(d, q) {
@@ -266,8 +267,8 @@ func (e *Engine) transfer(loc ir.Loc, tok Token, cond CondID, lookup func(ir.Fun
 		// source continues in the caller just before the call node, where
 		// the parameter-binding copies rebind formals to actuals.
 		var outs []outcome
-		for t := range lookup(g, q) {
-			outs = append(outs, outcome{tok: t.tok, cond: e.tab.and(cond, t.cond)})
+		for _, tup := range lookup(g, q) {
+			outs = append(outs, outcome{tok: tup.Src, cond: cond.And(tup.Cond, e.maxCond)})
 		}
 		// An empty (provisional) summary yields no outcomes this round;
 		// the fixpoint revisits once the callee summary grows.

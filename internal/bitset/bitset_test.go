@@ -210,3 +210,66 @@ func BenchmarkUnionWith(b *testing.B) {
 		c.UnionWith(y)
 	}
 }
+
+// TestDiffFromLongerSubtrahend: when the receiver (the subtrahend) has
+// more words than t, the result must still be sized by t and the extra
+// receiver words must not be consulted past t's length.
+func TestDiffFromLongerSubtrahend(t *testing.T) {
+	s := New(0)
+	s.Add(5)
+	s.Add(300) // three extra words beyond t
+	u := New(0)
+	u.Add(5)
+	u.Add(7)
+	d := s.DiffFrom(u)
+	if !equalInts(d.Elems(), []int{7}) {
+		t.Errorf("t \\ s = %v, want [7]", d.Elems())
+	}
+	// And the degenerate directions.
+	if d := s.DiffFrom(New(0)); !d.Empty() {
+		t.Errorf("empty \\ s = %v, want empty", d.Elems())
+	}
+	if d := (&Set{}).DiffFrom(u); !equalInts(d.Elems(), []int{5, 7}) {
+		t.Errorf("t \\ ∅ = %v, want [5 7]", d.Elems())
+	}
+	if d := s.DiffFrom(nil); !d.Empty() {
+		t.Errorf("nil \\ s = %v, want empty", d.Elems())
+	}
+}
+
+// TestIntersectsAfterRemove: Remove clears a bit without shrinking the
+// word slice; Intersects over the now-zero tail must not report a stale
+// intersection.
+func TestIntersectsAfterRemove(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(200)
+	b.Add(200)
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false before Remove")
+	}
+	a.Remove(200)
+	if a.Intersects(b) {
+		t.Error("Intersects = true after the only shared bit was removed")
+	}
+	a.Add(3)
+	b.Add(64) // different words, still disjoint
+	if a.Intersects(b) {
+		t.Error("Intersects = true for disjoint sets with trailing zero words")
+	}
+}
+
+// TestUnionWithSelf: unioning a set with itself must be a no-op that
+// reports no change, even though receiver and argument alias.
+func TestUnionWithSelf(t *testing.T) {
+	s := New(0)
+	s.Add(1)
+	s.Add(77)
+	s.Add(128)
+	want := s.Elems()
+	if s.UnionWith(s) {
+		t.Error("s.UnionWith(s) reported a change")
+	}
+	if !equalInts(s.Elems(), want) {
+		t.Errorf("s changed under self-union: %v, want %v", s.Elems(), want)
+	}
+}

@@ -22,6 +22,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -307,6 +308,58 @@ func BuildSteensgaard(p *ir.Program, sa *steens.Analysis) []*Cluster {
 // benchmark suite.
 const DefaultAndersenThreshold = 60
 
+// buildPartition computes one Steensgaard partition's contribution to the
+// Andersen cover: the partition kept whole when small or structure-free,
+// or its Andersen refinement otherwise. Cluster IDs are left at 0 for the
+// caller to renumber; the per-partition output order is deterministic
+// (sorted member keys). Safe to call concurrently — the Index is read-only
+// after construction and each call runs its own Andersen solver.
+func buildPartition(ix *Index, part []ir.VarID, threshold int) []*Cluster {
+	base := newCluster(ix, 0, KindSteensgaard, part)
+	if len(base.Stmts) == 0 {
+		return nil // alias-free (see BuildSteensgaard)
+	}
+	if len(part) <= threshold {
+		return []*Cluster{base}
+	}
+	// Oversized: Andersen restricted to the partition's slice.
+	aa := andersen.Analyze(ix.prog, andersen.WithStmtFilter(base.HasStmt))
+	inPart := map[ir.VarID]bool{}
+	for _, v := range part {
+		inPart[v] = true
+	}
+	sets := map[string][]ir.VarID{}
+	for _, oc := range aa.Clusters() {
+		// The pointed-to object itself belongs to its own partition's
+		// clusters, not to this pointer-level one.
+		var members []ir.VarID
+		for _, q := range oc.Ptrs {
+			if inPart[q] {
+				members = append(members, q)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		key := clusterKey(members)
+		sets[key] = members
+	}
+	if len(sets) == 0 {
+		// Andersen found no aliasing structure; keep the partition.
+		return []*Cluster{base}
+	}
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Cluster, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, newCluster(ix, 0, KindAndersen, sets[k]))
+	}
+	return out
+}
+
 // BuildAndersen refines a Steensgaard cover with Andersen clustering:
 // partitions no larger than threshold are kept as-is, while each oversized
 // partition is re-analyzed with Andersen's analysis restricted to its
@@ -322,53 +375,76 @@ func BuildAndersen(p *ir.Program, sa *steens.Analysis, threshold int) []*Cluster
 	ix := NewIndex(p, sa)
 	var out []*Cluster
 	for _, part := range sa.Partitions() {
-		base := newCluster(ix, 0, KindSteensgaard, part)
-		if len(base.Stmts) == 0 {
-			continue // alias-free (see BuildSteensgaard)
-		}
-		if len(part) <= threshold {
-			base.ID = len(out)
-			out = append(out, base)
-			continue
-		}
-		// Oversized: Andersen restricted to the partition's slice.
-		aa := andersen.Analyze(p, andersen.WithStmtFilter(base.HasStmt))
-		inPart := map[ir.VarID]bool{}
-		for _, v := range part {
-			inPart[v] = true
-		}
-		sets := map[string][]ir.VarID{}
-		for o, ptrs := range aa.Clusters() {
-			var members []ir.VarID
-			for _, q := range ptrs {
-				if inPart[q] {
-					members = append(members, q)
-				}
-			}
-			// The pointed-to object itself belongs to its own partition's
-			// clusters, not to this pointer-level one.
-			_ = o
-			if len(members) == 0 {
-				continue
-			}
-			key := clusterKey(members)
-			sets[key] = members
-		}
-		if len(sets) == 0 {
-			// Andersen found no aliasing structure; keep the partition.
-			base.ID = len(out)
-			out = append(out, base)
-			continue
-		}
-		keys := make([]string, 0, len(sets))
-		for k := range sets {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			out = append(out, newCluster(ix, len(out), KindAndersen, sets[k]))
+		for _, c := range buildPartition(ix, part, threshold) {
+			c.ID = len(out)
+			out = append(out, c)
 		}
 	}
+	return out
+}
+
+// StreamAndersen computes exactly the BuildAndersen cover — same clusters,
+// same IDs, same order — but runs the per-partition work (Algorithm 1
+// slicing plus the per-oversized-partition Andersen solve) on `workers`
+// goroutines and delivers each cluster over the returned channel as soon
+// as it and every earlier partition's clusters are done. An in-order
+// sequencer assigns the global IDs, so consumers can start flow-sensitive
+// analysis on early clusters while later partitions are still being
+// refined. The channel is closed when the cover is complete or ctx is
+// cancelled (possibly mid-cover).
+func StreamAndersen(ctx context.Context, p *ir.Program, sa *steens.Analysis, threshold, workers int) <-chan *Cluster {
+	if threshold <= 0 {
+		threshold = DefaultAndersenThreshold
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ix := NewIndex(p, sa)
+	parts := sa.Partitions()
+	results := make([]chan []*Cluster, len(parts))
+	for i := range results {
+		results[i] = make(chan []*Cluster, 1)
+	}
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range parts {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				results[i] <- buildPartition(ix, parts[i], threshold)
+			}
+		}()
+	}
+	out := make(chan *Cluster)
+	go func() {
+		defer close(out)
+		id := 0
+		for i := range parts {
+			var cs []*Cluster
+			select {
+			case cs = <-results[i]:
+			case <-ctx.Done():
+				return
+			}
+			for _, c := range cs {
+				c.ID = id
+				id++
+				select {
+				case out <- c:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
 	return out
 }
 

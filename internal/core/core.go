@@ -106,6 +106,17 @@ type Config struct {
 	// different pointer analysis methods to analyze different clusters
 	// based on their sizes and access densities").
 	HybridSizeLimit int
+	// DisableInterning turns off the FSCS engines' memoized hash-consed
+	// condition operators; every conjunction is recomputed structurally.
+	// Alias results are bit-for-bit identical either way — the knob trades
+	// speed only, and exists for benchmarking and as an escape hatch.
+	DisableInterning bool
+	// DisablePipelining forces the serial front-end: the complete Andersen
+	// cover is built before any FSCS engine starts. By default (false) the
+	// eager ModeAndersen cascade streams clusters from the cover builder
+	// into the FSCS workers as partitions finish, overlapping the two
+	// stages. Results are identical; the knob trades speed only.
+	DisablePipelining bool
 }
 
 // Timing records where the analysis spent its time, mirroring the columns
@@ -226,6 +237,15 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 		a.Timing.OneFlow = time.Since(t)
 	}
 
+	// The eager full-bootstrap cascade runs pipelined by default: clusters
+	// stream from the cover builder straight into the FSCS workers instead
+	// of waiting for the whole cover. Every other configuration (other
+	// modes, One-Flow refinement, lazy mode, DisablePipelining) takes the
+	// serial barrier path below.
+	if cfg.Mode == ModeAndersen && of == nil && !cfg.DisablePipelining && !cfg.Lazy {
+		return a.runPipelined(ctx, prog, sa, cfg)
+	}
+
 	// Stage 1: build the alias cover.
 	t1 := time.Now()
 	switch cfg.Mode {
@@ -333,6 +353,112 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	return a, nil
 }
 
+// runPipelined is the overlapped eager ModeAndersen cascade: the Andersen
+// cover is built partition-by-partition on a worker pool and each finished
+// cluster streams straight into the FSCS stage, while the whole-program
+// flow-insensitive fallback and the call graph are computed concurrently
+// (FSCS workers block on their readiness before the first engine runs).
+//
+// Output is identical to the serial path: the stream delivers clusters in
+// BuildAndersen order with BuildAndersen IDs, per-cluster results land in
+// indexed slots (never raced), and Health is sorted by cluster ID. The
+// cover is built under the caller's ctx, not the RunTimeout context —
+// RunTimeout degrades FSCS precision per cluster but must never truncate
+// the cover itself, or queries on missing clusters would be unsound.
+func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steens.Analysis, cfg Config) (*Analysis, error) {
+	fallbackReady := make(chan struct{})
+	go func() {
+		defer close(fallbackReady)
+		a.Andersen = andersen.Analyze(prog)
+		a.CallGraph = callgraph.Build(prog)
+	}()
+
+	runCtx := ctx
+	if cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.RunTimeout)
+		defer cancel()
+	}
+
+	t1 := time.Now()
+	stream := cluster.StreamAndersen(ctx, prog, sa, cfg.AndersenThreshold, cfg.Workers)
+
+	type slot struct {
+		c   *cluster.Cluster
+		eng *fscs.Engine
+		h   ClusterHealth
+	}
+	jobs := make(chan *slot, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-fallbackReady
+			for s := range jobs {
+				s.eng, s.h = RunCluster(runCtx, prog, a.CallGraph, sa, s.c, a.Andersen, cfg)
+			}
+		}()
+	}
+
+	// Demand-driven selection and the hybrid size cut-off apply per
+	// streamed cluster — both are local predicates, so filtering needs no
+	// cover-completion barrier.
+	selects := func(c *cluster.Cluster) bool {
+		if cfg.HybridSizeLimit > 0 && c.Size() > cfg.HybridSizeLimit {
+			return false
+		}
+		if cfg.Demand == nil {
+			return true
+		}
+		for _, v := range c.Pointers {
+			if cfg.Demand(prog.Var(v)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var slots []*slot
+	for c := range stream {
+		a.Clusters = append(a.Clusters, c)
+		if !selects(c) {
+			continue
+		}
+		s := &slot{c: c}
+		slots = append(slots, s)
+		jobs <- s
+	}
+	// Under pipelining the clustering span overlaps the FSCS wall clock; it
+	// ends when the last partition's refinement has been delivered.
+	a.Timing.Clustering = time.Since(t1)
+	close(jobs)
+	wg.Wait()
+	a.Timing.Wall = time.Since(t1)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
+	}
+
+	a.Timing.PerCluster = make([]time.Duration, len(slots))
+	for i, s := range slots {
+		a.selected[s.c.ID] = s.c
+		for _, p := range s.c.Pointers {
+			a.byPointer[p] = append(a.byPointer[p], s.c.ID)
+		}
+		if s.eng != nil {
+			a.engines[s.c.ID] = s.eng
+		} else {
+			// Permanently demoted (see the serial path).
+			delete(a.selected, s.c.ID)
+		}
+		a.Timing.PerCluster[i] = s.h.Elapsed
+		a.Timing.FSCS += s.h.Elapsed
+		a.Health = append(a.Health, s.h)
+	}
+	sort.Slice(a.Health, func(i, j int) bool { return a.Health[i].ClusterID < a.Health[j].ClusterID })
+	return a, nil
+}
+
 // Exhausted returns the IDs of the clusters whose final engine attempt
 // ran out of work budget, sorted.
 //
@@ -416,7 +542,8 @@ func (a *Analysis) getEngine(clusterID int) *fscs.Engine {
 	e := fscs.NewEngine(a.Prog, a.CallGraph, a.Steens, c,
 		fscs.WithFallback(a.Andersen),
 		fscs.WithBudget(a.cfg.ClusterBudget),
-		fscs.WithMaxCond(maxCondOrDefault(a.cfg.MaxCond)))
+		fscs.WithMaxCond(maxCondOrDefault(a.cfg.MaxCond)),
+		fscs.WithInterning(!a.cfg.DisableInterning))
 	a.engines[clusterID] = e
 	return e
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"bootstrap/internal/ir"
+)
+
+// aliasDump serializes every query surface the facade exposes into one
+// canonical string: the cover (IDs, kinds, pointer sets), per-pointer
+// cluster membership, points-to sets, alias sets and health statuses.
+// Two analyses with equal dumps are observably identical.
+func aliasDump(a *Analysis) string {
+	var b strings.Builder
+	for _, c := range a.Clusters {
+		fmt.Fprintf(&b, "cluster %d %s %v\n", c.ID, c.Kind, c.Pointers)
+	}
+	for _, h := range a.Health {
+		fmt.Fprintf(&b, "health %d %s demoted=%v\n", h.ClusterID, h.Status, h.Demoted)
+	}
+	exit := a.Prog.Func(a.Prog.Entry).Exit
+	var ptrs []ir.VarID
+	for p := range a.byPointer {
+		ptrs = append(ptrs, p)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i] < ptrs[j] })
+	for _, p := range ptrs {
+		objs, precise := a.PointsTo(p, exit)
+		fmt.Fprintf(&b, "pts %d %v %v\n", p, objs, precise)
+		fmt.Fprintf(&b, "aliases %d %v clusters=%v\n", p, a.Aliases(p, exit), a.ClustersOf(p))
+	}
+	return b.String()
+}
+
+// TestDeterministicAcrossWorkersAndKnobs is the PR's determinism
+// acceptance check: alias results must be bit-for-bit identical across
+// worker counts and with the interning and pipelining optimizations
+// toggled off — the knobs and the parallelism trade work, never answers.
+func TestDeterministicAcrossWorkersAndKnobs(t *testing.T) {
+	var want string
+	first := true
+	for _, workers := range []int{1, 8} {
+		for _, noIntern := range []bool{false, true} {
+			for _, noPipe := range []bool{false, true} {
+				cfg := Config{
+					Mode:              ModeAndersen,
+					Workers:           workers,
+					AndersenThreshold: 2, // force Andersen refinement
+					DisableInterning:  noIntern,
+					DisablePipelining: noPipe,
+				}
+				a, err := AnalyzeSource(testProgram, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d noIntern=%v noPipe=%v: %v", workers, noIntern, noPipe, err)
+				}
+				dump := aliasDump(a)
+				if first {
+					want, first = dump, false
+					continue
+				}
+				if dump != want {
+					t.Errorf("workers=%d noIntern=%v noPipe=%v: results diverge\n--- want\n%s--- got\n%s",
+						workers, noIntern, noPipe, want, dump)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedMatchesSerialCover: the streamed cover must be the
+// BuildAndersen cover exactly — same clusters, same IDs, same order —
+// including under demand selection and the hybrid size cut-off.
+func TestPipelinedMatchesSerialCover(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{Mode: ModeAndersen, AndersenThreshold: 2, Workers: 4}},
+		{"demand", Config{Mode: ModeAndersen, AndersenThreshold: 2, Workers: 4,
+			Demand: func(v *ir.Var) bool { return v.IsLock }}},
+		{"hybrid", Config{Mode: ModeAndersen, AndersenThreshold: 2, Workers: 4, HybridSizeLimit: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			piped, err := AnalyzeSource(testProgram, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialCfg := tc.cfg
+			serialCfg.DisablePipelining = true
+			serial, err := AnalyzeSource(testProgram, serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := aliasDump(piped), aliasDump(serial); got != want {
+				t.Errorf("pipelined cover/results diverge from serial\n--- serial\n%s--- pipelined\n%s", want, got)
+			}
+			if len(piped.Clusters) != len(serial.Clusters) {
+				t.Fatalf("cover sizes differ: %d vs %d", len(piped.Clusters), len(serial.Clusters))
+			}
+		})
+	}
+}

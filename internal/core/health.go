@@ -150,6 +150,7 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 			fscs.WithBudget(budget),
 			fscs.WithMaxCond(maxCond),
 			fscs.WithContext(attemptCtx),
+			fscs.WithInterning(!cfg.DisableInterning),
 		}
 		if cfg.Faults != nil {
 			if hook := cfg.Faults.Hook(c.ID); hook != nil {

@@ -1,0 +1,168 @@
+package fscs
+
+import (
+	"math/rand"
+	"testing"
+
+	"bootstrap/internal/ir"
+)
+
+func testAtoms() []Atom {
+	return []Atom{
+		{Loc: 1, Op: OpPointsTo, X: 2, Y: 3},
+		{Loc: 4, Op: OpNotPointsTo, X: 2, Y: 5},
+		{Loc: 7, Op: OpSameTarget, X: 1, Y: 6},
+		{Loc: 9, Op: OpDiffTarget, X: 3, Y: 4},
+		{Loc: 12, Op: OpPointsTo, X: 8, Y: 3},
+	}
+}
+
+// TestInternOrderIndependence: the same condition built by conjoining the
+// same atoms in different orders must intern to the same CondID — the
+// invariant that makes interned tuple equality equal structural equality.
+func TestInternOrderIndependence(t *testing.T) {
+	atoms := testAtoms()
+	tab := newCondTab(8, true)
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{1, 4, 0, 3, 2},
+	}
+	var want CondID = -1
+	for _, perm := range perms {
+		c := TrueCondID
+		for _, i := range perm {
+			c = tab.with(c, atoms[i])
+		}
+		if want == -1 {
+			want = c
+		} else if c != want {
+			t.Errorf("order %v interned to %d, want %d", perm, c, want)
+		}
+	}
+	if want == TrueCondID {
+		t.Fatal("five atoms under maxAtoms=8 must not widen to true")
+	}
+	// The structural-entry path (intern) must agree with the built one,
+	// again independent of atom order.
+	for _, perm := range perms {
+		sc := TrueCond()
+		for _, i := range perm {
+			sc = sc.With(atoms[i], 8)
+		}
+		if got := tab.intern(sc); got != want {
+			t.Errorf("intern of structurally-built cond (order %v) = %d, want %d", perm, got, want)
+		}
+	}
+}
+
+// TestInternMemoEquivalence: with memoization on and off, the interned
+// operators must produce identical results (the WithInterning knob trades
+// work only, never answers). Cross-checked against the structural
+// Cond.With/Cond.And operators, including the widening-to-true edge.
+func TestInternMemoEquivalence(t *testing.T) {
+	atoms := testAtoms()
+	const maxAtoms = 3 // small, so widening paths are exercised
+	rng := rand.New(rand.NewSource(7))
+
+	memoTab := newCondTab(maxAtoms, true)
+	slowTab := newCondTab(maxAtoms, false)
+
+	type state struct {
+		memo, slow CondID
+		structural Cond
+	}
+	states := []state{{memo: TrueCondID, slow: TrueCondID, structural: TrueCond()}}
+	for step := 0; step < 300; step++ {
+		s := states[rng.Intn(len(states))]
+		var next state
+		if rng.Intn(3) == 0 && len(states) > 1 {
+			o := states[rng.Intn(len(states))]
+			next = state{
+				memo:       memoTab.and(s.memo, o.memo),
+				slow:       slowTab.and(s.slow, o.slow),
+				structural: s.structural.And(o.structural, maxAtoms),
+			}
+		} else {
+			a := atoms[rng.Intn(len(atoms))]
+			next = state{
+				memo:       memoTab.with(s.memo, a),
+				slow:       slowTab.with(s.slow, a),
+				structural: s.structural.With(a, maxAtoms),
+			}
+		}
+		if memoTab.cond(next.memo).Key() != next.structural.Key() {
+			t.Fatalf("step %d: memoized result %q != structural %q",
+				step, memoTab.cond(next.memo).Key(), next.structural.Key())
+		}
+		if slowTab.cond(next.slow).Key() != next.structural.Key() {
+			t.Fatalf("step %d: unmemoized result %q != structural %q",
+				step, slowTab.cond(next.slow).Key(), next.structural.Key())
+		}
+		states = append(states, next)
+	}
+	if memoTab.conds.Len() != slowTab.conds.Len() {
+		t.Errorf("memo on/off interned different condition counts: %d vs %d",
+			memoTab.conds.Len(), slowTab.conds.Len())
+	}
+}
+
+// TestEngineInterningToggleIdentical: a full engine run with the memo fast
+// path disabled must produce bit-for-bit identical summaries and value
+// sets — WithInterning(false) changes the work, never the answers.
+func TestEngineInterningToggleIdentical(t *testing.T) {
+	src := `
+		int a, b, c;
+		int *p, *q, *r;
+		int **pp;
+		void leaf() { q = p; }
+		void mid() { leaf(); if (p == r) { r = &c; } }
+		void main() {
+			p = &a;
+			r = &b;
+			pp = &p;
+			*pp = r;
+			mid();
+		}
+	`
+	h := newHarness(t, src)
+	fast := h.engineFor(t, WithInterning(true))
+	slow := h.engineFor(t, WithInterning(false))
+	if err := fast.Run(); err != nil {
+		t.Fatalf("interned run: %v", err)
+	}
+	if err := slow.Run(); err != nil {
+		t.Fatalf("unmemoized run: %v", err)
+	}
+	for _, f := range fast.SummaryFuncs() {
+		for _, v := range []ir.VarID{h.v(t, "p"), h.v(t, "q"), h.v(t, "r")} {
+			a, b := fast.Summary(f, v), slow.Summary(f, v)
+			if len(a) != len(b) {
+				t.Fatalf("summary(%d, %d): %d tuples vs %d", f, v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Src != b[i].Src || a[i].Cond.Key() != b[i].Cond.Key() {
+					t.Errorf("summary(%d, %d)[%d]: %v vs %v", f, v, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	loc := h.exitOf("main")
+	for _, name := range []string{"p", "q", "r"} {
+		v := h.v(t, name)
+		ga, oka := fast.Values(v, loc)
+		gb, okb := slow.Values(v, loc)
+		if oka != okb || len(ga) != len(gb) {
+			t.Fatalf("values(%s): (%v,%v) vs (%v,%v)", name, ga, oka, gb, okb)
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Errorf("values(%s)[%d]: %d vs %d", name, i, ga[i], gb[i])
+			}
+		}
+	}
+	if fast.CondsInterned() == 0 || slow.CondsInterned() == 0 {
+		t.Error("CondsInterned = 0; interning tables unused")
+	}
+}
