@@ -34,9 +34,10 @@ var (
 	clusterTimeout = flag.Duration("cluster-timeout", 0, "per-cluster wall-clock deadline per engine attempt (0 = none)")
 	retries        = flag.Int("retries", 0, "degradation-ladder retries per failed cluster (0 = single attempt, the historical bench behavior)")
 
-	fscsJSON = flag.String("fscs-json", "", "write the FSCS perf trajectory (interned vs legacy, pipelined vs serial) to this file and exit")
+	fscsJSON = flag.String("fscs-json", "", "write the FSCS perf trajectory (interned vs legacy, pipelined vs serial, cold vs warm cache) to this file and exit")
 	perfReps = flag.Int("perf-reps", 3, "best-of-N repetitions for -fscs-json measurements")
 	timings  = flag.Bool("timings", false, "also print per-stage timing columns (fixed cover order, diff-friendly)")
+	cacheDir = flag.String("cache-dir", "", "persistent directory for the per-cluster result cache; a second run against the same directory starts fully warm (cache_hit_rate 1.0)")
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		SkipNoClustering: *skipNC,
 		ClusterTimeout:   *clusterTimeout,
 		Retries:          *retries,
+		CacheDir:         *cacheDir,
 	}
 	if *sweep != "" {
 		b, ok := synth.FindBenchmark(*sweep)

@@ -13,6 +13,8 @@
 //	bootstrap -pts x -at main prog.cpl        # FSCS points-to set
 //	bootstrap -races prog.cpl                 # lockset race detection
 //	bootstrap -mode none -stats prog.cpl      # unclustered baseline
+//	bootstrap -cache-dir .btscache prog.cpl   # persistent result cache;
+//	                                          # re-runs import unchanged clusters
 //
 // Fault tolerance: -cluster-timeout bounds each per-cluster engine (the
 // paper's 15-minute analogue), -timeout bounds the whole run, and
@@ -30,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"bootstrap/internal/cache"
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
 	"bootstrap/internal/ir"
@@ -50,6 +53,8 @@ var (
 
 	noIntern   = flag.Bool("no-intern", false, "disable condition-interning memo tables (slower; results identical)")
 	noPipeline = flag.Bool("no-pipeline", false, "run the clustering cascade serially before FSCS instead of pipelined (slower; results identical)")
+	cycleElim  = flag.Bool("cycle-elim", true, "online cycle elimination in the Andersen solver (results identical either way)")
+	cacheDir   = flag.String("cache-dir", "", "directory for the persistent per-cluster result cache; warm re-runs import unchanged clusters instead of re-solving (results identical)")
 
 	dumpIR     = flag.Bool("dump", false, "dump the lowered IR")
 	dotCFG     = flag.Bool("dot", false, "emit the CFGs in GraphViz DOT format")
@@ -120,6 +125,10 @@ func run(path string) error {
 		Retries:           ladderRetriesFlag(*retries),
 		DisableInterning:  *noIntern,
 		DisablePipelining: *noPipeline,
+		DisableCycleElim:  !*cycleElim,
+	}
+	if *cacheDir != "" {
+		cfg.Cache = cache.New(cache.Options{Dir: *cacheDir})
 	}
 	if *races {
 		cfg.Demand = lockset.LockDemand
@@ -163,6 +172,16 @@ func run(path string) error {
 			a.Prog.NumVars(), len(a.Clusters), healthSummary(a.Health))
 		fmt.Printf("timing: lower=%v steensgaard=%v clustering=%v fscs(seq)=%v fscs(wall)=%v\n",
 			a.Timing.Lower, a.Timing.Steensgaard, a.Timing.Clustering, a.Timing.FSCS, a.Timing.Wall)
+		if a.Andersen != nil {
+			ss := a.Andersen.SolverStats()
+			fmt.Printf("andersen solver: passes=%d collapses=%d merged=%d cycle-elim=%v\n",
+				ss.Passes, ss.Collapses, ss.Merged, *cycleElim)
+		}
+		if cfg.Cache != nil {
+			cs := a.CacheStats
+			fmt.Printf("result cache: hits=%d misses=%d hit-rate=%.2f read=%dB written=%dB\n",
+				cs.Hits, cs.Misses, cs.HitRate(), cs.BytesRead, cs.BytesWritten)
+		}
 	}
 	printUnhealthy(a)
 

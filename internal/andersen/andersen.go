@@ -54,15 +54,30 @@ func withCycleInterval(n int) Option {
 	return func(c *config) { c.cycleEli = true; c.interval = n }
 }
 
+// SolverStats reports how much work the constraint solver did — the
+// instrumentation window behind the `-stats` flag and the bench cache
+// columns. Passes counts worklist nodes processed; Collapses counts
+// cycle-elimination sweeps; Merged counts the variables folded into a
+// cycle representative (0 without WithCycleElimination).
+type SolverStats struct {
+	Passes    int64
+	Collapses int
+	Merged    int
+}
+
 // Analysis is the result of Andersen's analysis.
 type Analysis struct {
-	prog *ir.Program
-	pts  []*bitset.Set // var -> points-to set over VarIDs
-	rep  []int32       // cycle-elimination representative (identity without it)
+	prog  *ir.Program
+	pts   []*bitset.Set // var -> points-to set over VarIDs
+	rep   []int32       // cycle-elimination representative (identity without it)
+	stats SolverStats
 
 	clustersOnce sync.Once
 	clusters     []ObjCluster
 }
+
+// SolverStats returns the solver's work counters.
+func (a *Analysis) SolverStats() SolverStats { return a.stats }
 
 type indirectCall struct {
 	fptr ir.VarID
@@ -83,6 +98,7 @@ type solver struct {
 
 	work   []int32
 	inWork []bool
+	stats  SolverStats
 
 	// Cycle elimination state.
 	cycleEli      bool
@@ -128,7 +144,7 @@ func Analyze(p *ir.Program, opts ...Option) *Analysis {
 		s.constrain(n.Stmt)
 	}
 	s.solve()
-	return &Analysis{prog: p, pts: s.pts, rep: s.rep}
+	return &Analysis{prog: p, pts: s.pts, rep: s.rep, stats: s.stats}
 }
 
 // find returns v's cycle-elimination representative with path halving.
@@ -190,10 +206,12 @@ func (s *solver) constrain(st ir.Stmt) {
 
 func (s *solver) solve() {
 	for len(s.work) > 0 {
+		s.stats.Passes++
 		if s.cycleEli {
 			s.sinceCollapse++
 			if s.sinceCollapse > s.interval {
 				s.sinceCollapse = 0
+				s.stats.Collapses++
 				s.collapseCycles()
 			}
 		}
@@ -315,6 +333,7 @@ func (s *solver) mergeSCC(scc []int32) {
 		if s.find(m) == s.find(root) {
 			continue
 		}
+		s.stats.Merged++
 		s.rep[s.find(m)] = s.find(root)
 		s.pts[root].UnionWith(s.pts[m])
 		s.edgeSet[root].UnionWith(s.edgeSet[m])
@@ -367,8 +386,9 @@ func (a *Analysis) PointsToSet(v ir.VarID) *bitset.Set { return a.pts[a.canon(v)
 
 // PointsTo returns the objects v may point to, in increasing VarID order.
 func (a *Analysis) PointsTo(v ir.VarID) []ir.VarID {
-	var out []ir.VarID
-	a.PointsToSet(v).ForEach(func(o int) bool { out = append(out, ir.VarID(o)); return true })
+	set := a.PointsToSet(v)
+	out := make([]ir.VarID, 0, set.Len())
+	set.ForEach(func(o int) bool { out = append(out, ir.VarID(o)); return true })
 	return out
 }
 

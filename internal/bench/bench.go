@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"bootstrap/internal/cache"
 	"bootstrap/internal/callgraph"
 	"bootstrap/internal/cluster"
 	"bootstrap/internal/core"
@@ -47,6 +48,11 @@ type Options struct {
 	// bench behavior of a single attempt per cluster, so retry time
 	// never pollutes the Table 1 columns unless asked for.
 	Retries int
+	// CacheDir, when non-empty, gives the per-cluster result cache a disk
+	// tier under it, so the warm-rerun measurements survive across
+	// benchtab invocations (a second run against the same directory
+	// starts fully warm).
+	CacheDir string
 }
 
 func (o *Options) fill() {
@@ -139,6 +145,13 @@ type Row struct {
 	AndersenMax  int           // column 11
 	AndersenFSCS time.Duration // column 12
 
+	// AndersenWarm re-measures the Andersen cover against a warm result
+	// cache: every cluster's fingerprint hits, so this is the incremental
+	// reanalysis cost of an unchanged program.
+	AndersenWarm time.Duration
+	// WarmCache is the warm rerun's cache traffic (hits, misses, bytes).
+	WarmCache cache.Stats
+
 	// Scheduler health per cover (budget exhaustion, deadlines, panics).
 	NoClusterHealth HealthCounts
 	SteensHealth    HealthCounts
@@ -149,13 +162,14 @@ type Row struct {
 // fault-tolerant scheduler, returning the per-cluster times (for the
 // machine simulation) and the aggregated health report.
 func runCover(prog *ir.Program, cg *callgraph.Graph, sa *steens.Analysis,
-	cs []*cluster.Cluster, budget int64, opt Options) ([]time.Duration, HealthCounts) {
+	cs []*cluster.Cluster, budget int64, opt Options, cc *cache.Cache) ([]time.Duration, HealthCounts) {
 	times := make([]time.Duration, len(cs))
 	var hc HealthCounts
 	cfg := core.Config{
 		ClusterBudget:  budget,
 		ClusterTimeout: opt.ClusterTimeout,
 		Retries:        opt.Retries,
+		Cache:          cc,
 	}
 	for i, c := range cs {
 		t := time.Now()
@@ -192,7 +206,7 @@ func RunRow(b synth.Benchmark, opt Options) (Row, error) {
 	// Column 6: FSCS without clustering (budgeted, like the 15-min cap).
 	if !opt.SkipNoClustering {
 		whole := []*cluster.Cluster{cluster.BuildWhole(prog, sa)}
-		times, hc := runCover(prog, cg, sa, whole, opt.Budget, opt)
+		times, hc := runCover(prog, cg, sa, whole, opt.Budget, opt, nil)
 		row.NoClusterTime = sum(times)
 		row.NoClusterHealth = hc
 		row.NoClusterTimedOut = hc.Demoted() > 0
@@ -202,7 +216,7 @@ func RunRow(b synth.Benchmark, opt Options) (Row, error) {
 	steensCover := cluster.BuildSteensgaard(prog, sa)
 	ss := cluster.CoverStats(steensCover)
 	row.SteensNum, row.SteensMax = ss.NumClusters, ss.MaxSize
-	stimes, shc := runCover(prog, cg, sa, steensCover, 0, opt)
+	stimes, shc := runCover(prog, cg, sa, steensCover, 0, opt, nil)
 	row.SteensHealth = shc
 	row.SteensFSCS = core.SimulateParallel(steensCover, stimes, opt.Parts)
 
@@ -212,9 +226,18 @@ func RunRow(b synth.Benchmark, opt Options) (Row, error) {
 	row.ClusterTime = time.Since(t1)
 	as := cluster.CoverStats(andersenCover)
 	row.AndersenNum, row.AndersenMax = as.NumClusters, as.MaxSize
-	atimes, ahc := runCover(prog, cg, sa, andersenCover, 0, opt)
+	atimes, ahc := runCover(prog, cg, sa, andersenCover, 0, opt, nil)
 	row.AndersenHealth = ahc
 	row.AndersenFSCS = core.SimulateParallel(andersenCover, atimes, opt.Parts)
+
+	// Warm rerun: populate the result cache with one pass over the
+	// Andersen cover, then measure the rerun that serves from it.
+	cc := cache.New(cache.Options{Dir: opt.CacheDir})
+	runCover(prog, cg, sa, andersenCover, 0, opt, cc)
+	before := cc.Stats()
+	wtimes, _ := runCover(prog, cg, sa, andersenCover, 0, opt, cc)
+	row.AndersenWarm = sum(wtimes)
+	row.WarmCache = cc.Stats().Sub(before)
 
 	return row, nil
 }
@@ -288,10 +311,10 @@ func FormatTable(rows []Row) string {
 // coverOrder fixes the order of the per-cover timing columns. Columns
 // are emitted from this slice, never by ranging over a map, so repeated
 // benchtab runs diff cleanly.
-var coverOrder = []string{"steens-partition", "andersen-cluster", "no-clustering", "steens-fscs", "andersen-fscs"}
+var coverOrder = []string{"steens-partition", "andersen-cluster", "no-clustering", "steens-fscs", "andersen-fscs", "andersen-warm", "warm-cache"}
 
 // FormatTimings renders one timing column per cover stage, per row, in
-// the fixed coverOrder.
+// the fixed coverOrder, with the warm rerun's cache traffic last.
 func FormatTimings(rows []Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s", "Example")
@@ -307,6 +330,8 @@ func FormatTimings(rows []Row) string {
 			"no-clustering":    fmtDur(r.NoClusterTime, r.NoClusterTimedOut),
 			"steens-fscs":      fmtDur(r.SteensFSCS, false),
 			"andersen-fscs":    fmtDur(r.AndersenFSCS, false),
+			"andersen-warm":    fmtDur(r.AndersenWarm, false),
+			"warm-cache":       fmt.Sprintf("%dh/%dm", r.WarmCache.Hits, r.WarmCache.Misses),
 		}
 		fmt.Fprintf(&b, "%-16s", r.Bench.Name)
 		for _, c := range coverOrder {
@@ -436,7 +461,7 @@ func ThresholdSweep(b synth.Benchmark, thresholds []int, opt Options) ([]Thresho
 		cover := cluster.BuildAndersen(prog, sa, th)
 		ct := time.Since(t0)
 		stats := cluster.CoverStats(cover)
-		times, _ := runCover(prog, cg, sa, cover, 0, opt)
+		times, _ := runCover(prog, cg, sa, cover, 0, opt, nil)
 		out = append(out, ThresholdPoint{
 			Threshold:   th,
 			NumClusters: stats.NumClusters,

@@ -4,7 +4,10 @@
 // time.
 package bitset
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 const wordBits = 64
 
@@ -161,6 +164,24 @@ func (s *Set) Elems() []int {
 	out := make([]int, 0, s.Len())
 	s.ForEach(func(i int) bool { out = append(out, i); return true })
 	return out
+}
+
+// AppendCanonical appends a canonical byte encoding of the set to b and
+// returns the extended slice: a uvarint word count followed by the
+// little-endian 64-bit words, with trailing zero words trimmed first.
+// Equal sets produce equal bytes regardless of how they were built
+// (capacity growth and removed elements leave no trace), which is what
+// content-addressed fingerprints require.
+func (s *Set) AppendCanonical(b []byte) []byte {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for _, w := range s.words[:n] {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return b
 }
 
 // Intersects reports whether s and t share any element.

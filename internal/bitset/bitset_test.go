@@ -273,3 +273,46 @@ func TestUnionWithSelf(t *testing.T) {
 		t.Errorf("s changed under self-union: %v, want %v", s.Elems(), want)
 	}
 }
+
+// TestAppendCanonical: equal sets must encode to equal bytes regardless
+// of construction history (growth from Add at high indexes, trailing
+// zero words left behind by Remove), and different sets must differ.
+func TestAppendCanonical(t *testing.T) {
+	a := New(0)
+	a.Add(3)
+	a.Add(70)
+
+	b := New(1024)
+	b.Add(900) // grow the word slice far past a's
+	b.Remove(900)
+	b.Add(70)
+	b.Add(3)
+
+	ea := a.AppendCanonical(nil)
+	eb := b.AppendCanonical(nil)
+	if string(ea) != string(eb) {
+		t.Errorf("equal sets encode differently: %x vs %x", ea, eb)
+	}
+
+	c := a.Clone()
+	c.Add(71)
+	if string(c.AppendCanonical(nil)) == string(ea) {
+		t.Error("different sets encode equally")
+	}
+
+	// Empty set: a bare zero word count, identical for every empty set.
+	var empty Set
+	drained := New(0)
+	drained.Add(500)
+	drained.Remove(500)
+	if string(empty.AppendCanonical(nil)) != string(drained.AppendCanonical(nil)) {
+		t.Error("empty sets encode differently")
+	}
+
+	// Appends to the given slice rather than replacing it.
+	pre := []byte{0xAA}
+	out := a.AppendCanonical(pre)
+	if out[0] != 0xAA || string(out[1:]) != string(ea) {
+		t.Error("AppendCanonical does not append to the given prefix")
+	}
+}

@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func keyOf(b byte) Key {
+	return sha256.Sum256([]byte{b})
+}
+
+func TestMemTierRoundTrip(t *testing.T) {
+	c := New(Options{})
+	k := keyOf(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(k, []byte("payload"))
+	got, ok := c.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.BytesWritten != int64(len("payload")) || st.BytesRead != int64(len("payload")) {
+		t.Errorf("byte counters = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Three 8-byte entries under a 20-byte bound: inserting the third
+	// must evict the least recently used one.
+	c := New(Options{MaxBytes: 20})
+	a, b, d := keyOf(1), keyOf(2), keyOf(3)
+	c.Put(a, make([]byte, 8))
+	c.Put(b, make([]byte, 8))
+	c.Get(a) // a is now more recent than b
+	c.Put(d, make([]byte, 8))
+	if _, ok := c.Get(b); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := c.Get(d); !ok {
+		t.Error("newest entry d was evicted")
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	k := keyOf(7)
+	w := New(Options{Dir: dir})
+	w.Put(k, []byte("persisted"))
+
+	// A fresh cache with an empty memory tier must serve from disk.
+	r := New(Options{Dir: dir})
+	got, ok := r.Get(k)
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("disk Get = %q, %v", got, ok)
+	}
+	// The hit must have been promoted into memory.
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after disk promotion, want 1", r.Len())
+	}
+}
+
+func TestDiskCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	k := keyOf(9)
+	w := New(Options{Dir: dir})
+	w.Put(k, []byte("some payload bytes"))
+	path := filepath.Join(dir, k.String()+".bsc")
+
+	corrupt := func(t *testing.T, mutate func([]byte)) {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(raw)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := New(Options{Dir: dir})
+		if _, ok := r.Get(k); ok {
+			t.Error("corrupt entry served as a hit")
+		}
+		if st := r.Stats(); st.Misses != 1 {
+			t.Errorf("misses = %d, want 1", st.Misses)
+		}
+		// Restore for the next subtest.
+		w.writeDisk(k, []byte("some payload bytes"))
+	}
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		corrupt(t, func(raw []byte) { raw[len(raw)-1] ^= 0xff })
+	})
+	t.Run("version bump", func(t *testing.T) {
+		corrupt(t, func(raw []byte) {
+			binary.LittleEndian.PutUint32(raw[len(diskMagic):], Version+1)
+		})
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		corrupt(t, func(raw []byte) { raw[0] = 'x' })
+	})
+	t.Run("key mismatch", func(t *testing.T) {
+		corrupt(t, func(raw []byte) { raw[len(diskMagic)+4] ^= 0xff })
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := New(Options{Dir: dir})
+		if _, ok := r.Get(k); ok {
+			t.Error("truncated entry served as a hit")
+		}
+	})
+}
+
+func TestCorruptRebooksHitAsMiss(t *testing.T) {
+	c := New(Options{})
+	k := keyOf(4)
+	c.Put(k, []byte("bad"))
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("expected a hit")
+	}
+	c.Corrupt(k)
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("after Corrupt: stats = %+v, want 0 hits / 1 miss", st)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Error("corrupt entry still present")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty stats hit rate != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", got)
+	}
+}

@@ -314,7 +314,7 @@ const DefaultAndersenThreshold = 60
 // caller to renumber; the per-partition output order is deterministic
 // (sorted member keys). Safe to call concurrently — the Index is read-only
 // after construction and each call runs its own Andersen solver.
-func buildPartition(ix *Index, part []ir.VarID, threshold int) []*Cluster {
+func buildPartition(ix *Index, part []ir.VarID, threshold int, aopts []andersen.Option) []*Cluster {
 	base := newCluster(ix, 0, KindSteensgaard, part)
 	if len(base.Stmts) == 0 {
 		return nil // alias-free (see BuildSteensgaard)
@@ -322,8 +322,13 @@ func buildPartition(ix *Index, part []ir.VarID, threshold int) []*Cluster {
 	if len(part) <= threshold {
 		return []*Cluster{base}
 	}
-	// Oversized: Andersen restricted to the partition's slice.
-	aa := andersen.Analyze(ix.prog, andersen.WithStmtFilter(base.HasStmt))
+	// Oversized: Andersen restricted to the partition's slice. Copy the
+	// caller's options before appending — concurrent buildPartition calls
+	// share the aopts backing array.
+	opts := make([]andersen.Option, 0, len(aopts)+1)
+	opts = append(opts, aopts...)
+	opts = append(opts, andersen.WithStmtFilter(base.HasStmt))
+	aa := andersen.Analyze(ix.prog, opts...)
 	inPart := map[ir.VarID]bool{}
 	for _, v := range part {
 		inPart[v] = true
@@ -368,14 +373,17 @@ func buildPartition(ix *Index, part []ir.VarID, threshold int) []*Cluster {
 // Pointers of an oversized partition that Andersen finds alias-free are
 // dropped — they need no precise analysis, and Theorem 7 keeps the union
 // of per-cluster aliases complete.
-func BuildAndersen(p *ir.Program, sa *steens.Analysis, threshold int) []*Cluster {
+//
+// aopts are passed to every per-partition Andersen solve (e.g.
+// andersen.WithCycleElimination); they never change the computed cover.
+func BuildAndersen(p *ir.Program, sa *steens.Analysis, threshold int, aopts ...andersen.Option) []*Cluster {
 	if threshold <= 0 {
 		threshold = DefaultAndersenThreshold
 	}
 	ix := NewIndex(p, sa)
 	var out []*Cluster
 	for _, part := range sa.Partitions() {
-		for _, c := range buildPartition(ix, part, threshold) {
+		for _, c := range buildPartition(ix, part, threshold, aopts) {
 			c.ID = len(out)
 			out = append(out, c)
 		}
@@ -392,7 +400,7 @@ func BuildAndersen(p *ir.Program, sa *steens.Analysis, threshold int) []*Cluster
 // analysis on early clusters while later partitions are still being
 // refined. The channel is closed when the cover is complete or ctx is
 // cancelled (possibly mid-cover).
-func StreamAndersen(ctx context.Context, p *ir.Program, sa *steens.Analysis, threshold, workers int) <-chan *Cluster {
+func StreamAndersen(ctx context.Context, p *ir.Program, sa *steens.Analysis, threshold, workers int, aopts ...andersen.Option) <-chan *Cluster {
 	if threshold <= 0 {
 		threshold = DefaultAndersenThreshold
 	}
@@ -419,7 +427,7 @@ func StreamAndersen(ctx context.Context, p *ir.Program, sa *steens.Analysis, thr
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobs {
-				results[i] <- buildPartition(ix, parts[i], threshold)
+				results[i] <- buildPartition(ix, parts[i], threshold, aopts)
 			}
 		}()
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bootstrap/internal/andersen"
+	"bootstrap/internal/cache"
 	"bootstrap/internal/callgraph"
 	"bootstrap/internal/cluster"
 	"bootstrap/internal/faults"
@@ -117,6 +118,28 @@ type Config struct {
 	// into the FSCS workers as partitions finish, overlapping the two
 	// stages. Results are identical; the knob trades speed only.
 	DisablePipelining bool
+	// DisableCycleElim turns off the Andersen solver's online cycle
+	// elimination (SCC collapsing) in both the whole-program fallback and
+	// the per-partition clustering solves. Points-to results are identical
+	// either way — the knob trades speed only.
+	DisableCycleElim bool
+	// Cache, when non-nil, warm-starts the per-cluster FSCS stage: before
+	// a cluster is dispatched to an engine its slice fingerprint is looked
+	// up, hits import the stored summary tables and points-to sets instead
+	// of solving (bit-for-bit identical results, per Theorem 6), and
+	// first-attempt healthy solves are stored back. The cache may be
+	// shared across runs and programs; see package cache. Fault injection
+	// (Faults) bypasses it, and lazy query-time engines are not cached.
+	Cache *cache.Cache
+}
+
+// andersenOpts translates the config's solver knobs into Andersen
+// options, shared by the fallback analysis and the clustering solves.
+func (cfg Config) andersenOpts() []andersen.Option {
+	if cfg.DisableCycleElim {
+		return nil
+	}
+	return []andersen.Option{andersen.WithCycleElimination()}
 }
 
 // Timing records where the analysis spent its time, mirroring the columns
@@ -142,9 +165,15 @@ type Analysis struct {
 
 	// Health reports, per selected cluster (sorted by cluster ID), how
 	// its engine fared under the fault-tolerant scheduler: completed,
-	// retried, recovered from a panic, or demoted to the fallback.
-	// Empty in Lazy mode, where engines run at query time.
+	// retried, recovered from a panic, served from the result cache, or
+	// demoted to the fallback. Empty in Lazy mode, where engines run at
+	// query time.
 	Health []ClusterHealth
+
+	// CacheStats is this run's window over Config.Cache's counters
+	// (zero without a cache). Under concurrent runs sharing one cache
+	// the window includes the other runs' traffic.
+	CacheStats cache.Stats
 
 	cfg       Config
 	mu        sync.Mutex
@@ -208,6 +237,16 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 		selected:  map[int]*cluster.Cluster{},
 		byPointer: map[ir.VarID][]int{},
 	}
+	var cacheBefore cache.Stats
+	if cfg.Cache != nil {
+		cacheBefore = cfg.Cache.Stats()
+	}
+	finish := func() *Analysis {
+		if cfg.Cache != nil {
+			a.CacheStats = cfg.Cache.Stats().Sub(cacheBefore)
+		}
+		return a
+	}
 
 	// Stage 0: Steensgaard over the whole program (the scalable base of
 	// the cascade), plus function-pointer devirtualization.
@@ -243,7 +282,10 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	// modes, One-Flow refinement, lazy mode, DisablePipelining) takes the
 	// serial barrier path below.
 	if cfg.Mode == ModeAndersen && of == nil && !cfg.DisablePipelining && !cfg.Lazy {
-		return a.runPipelined(ctx, prog, sa, cfg)
+		if _, err := a.runPipelined(ctx, prog, sa, cfg); err != nil {
+			return nil, err
+		}
+		return finish(), nil
 	}
 
 	// Stage 1: build the alias cover.
@@ -256,9 +298,9 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	case ModeAndersen:
 		threshold := cfg.AndersenThreshold
 		if of != nil {
-			a.Clusters = buildWithOneFlow(prog, sa, of, threshold)
+			a.Clusters = buildWithOneFlow(prog, sa, of, threshold, cfg.andersenOpts())
 		} else {
-			a.Clusters = cluster.BuildAndersen(prog, sa, threshold)
+			a.Clusters = cluster.BuildAndersen(prog, sa, threshold, cfg.andersenOpts()...)
 		}
 	case ModeSyntactic:
 		a.Clusters = cluster.BuildSyntactic(prog, sa)
@@ -271,7 +313,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	}
 
 	// The flow-insensitive fallback for imprecise FSCS paths.
-	a.Andersen = andersen.Analyze(prog)
+	a.Andersen = andersen.Analyze(prog, cfg.andersenOpts()...)
 	a.CallGraph = callgraph.Build(prog)
 
 	// Demand-driven selection, then the hybrid size cut-off: oversized
@@ -298,7 +340,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 
 	if cfg.Lazy {
 		// Engines are created (and compute) on first query.
-		return a, nil
+		return finish(), nil
 	}
 
 	// Stage 2: the precise per-cluster FSCS analyses, in parallel, under
@@ -350,7 +392,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 		a.Health = append(a.Health, healths[i])
 	}
 	sort.Slice(a.Health, func(i, j int) bool { return a.Health[i].ClusterID < a.Health[j].ClusterID })
-	return a, nil
+	return finish(), nil
 }
 
 // runPipelined is the overlapped eager ModeAndersen cascade: the Andersen
@@ -369,7 +411,7 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	fallbackReady := make(chan struct{})
 	go func() {
 		defer close(fallbackReady)
-		a.Andersen = andersen.Analyze(prog)
+		a.Andersen = andersen.Analyze(prog, cfg.andersenOpts()...)
 		a.CallGraph = callgraph.Build(prog)
 	}()
 
@@ -381,7 +423,7 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	}
 
 	t1 := time.Now()
-	stream := cluster.StreamAndersen(ctx, prog, sa, cfg.AndersenThreshold, cfg.Workers)
+	stream := cluster.StreamAndersen(ctx, prog, sa, cfg.AndersenThreshold, cfg.Workers, cfg.andersenOpts()...)
 
 	type slot struct {
 		c   *cluster.Cluster
@@ -459,22 +501,6 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	return a, nil
 }
 
-// Exhausted returns the IDs of the clusters whose final engine attempt
-// ran out of work budget, sorted.
-//
-// Deprecated: Exhausted is a derived view kept for one release; read
-// Health instead, which also reports timeouts, panics, retries and
-// demotions.
-func (a *Analysis) Exhausted() []int {
-	var out []int
-	for _, h := range a.Health {
-		if h.Status == HealthExhausted {
-			out = append(out, h.ClusterID)
-		}
-	}
-	return out
-}
-
 func maxCondOrDefault(n int) int {
 	if n <= 0 {
 		return 8
@@ -486,9 +512,9 @@ func maxCondOrDefault(n int) int {
 // oversized Steensgaard partition whose largest One-Flow refinement is
 // within the threshold is split along the One-Flow refinement instead of
 // paying for an Andersen run.
-func buildWithOneFlow(prog *ir.Program, sa *steens.Analysis, of *oneflow.Analysis, threshold int) []*cluster.Cluster {
+func buildWithOneFlow(prog *ir.Program, sa *steens.Analysis, of *oneflow.Analysis, threshold int, aopts []andersen.Option) []*cluster.Cluster {
 	var out []*cluster.Cluster
-	andersenCover := cluster.BuildAndersen(prog, sa, threshold)
+	andersenCover := cluster.BuildAndersen(prog, sa, threshold, aopts...)
 	// BuildAndersen already keeps small partitions; reuse it, but first
 	// check the One-Flow split for the oversized ones. For simplicity the
 	// One-Flow stage only changes which partitions get the expensive

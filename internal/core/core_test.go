@@ -382,9 +382,6 @@ func TestBudgetTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Exhausted()) == 0 {
-		t.Error("tiny budget should exhaust the monolithic cluster")
-	}
 	if len(a.Health) != 1 {
 		t.Fatalf("Health has %d entries, want 1", len(a.Health))
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"bootstrap/internal/cache"
 	"bootstrap/internal/ir"
 )
 
@@ -37,33 +38,94 @@ func aliasDump(a *Analysis) string {
 
 // TestDeterministicAcrossWorkersAndKnobs is the PR's determinism
 // acceptance check: alias results must be bit-for-bit identical across
-// worker counts and with the interning and pipelining optimizations
-// toggled off — the knobs and the parallelism trade work, never answers.
+// worker counts and with the interning, pipelining and cycle-elimination
+// optimizations toggled off — the knobs and the parallelism trade work,
+// never answers.
 func TestDeterministicAcrossWorkersAndKnobs(t *testing.T) {
 	var want string
 	first := true
 	for _, workers := range []int{1, 8} {
 		for _, noIntern := range []bool{false, true} {
 			for _, noPipe := range []bool{false, true} {
-				cfg := Config{
-					Mode:              ModeAndersen,
-					Workers:           workers,
-					AndersenThreshold: 2, // force Andersen refinement
-					DisableInterning:  noIntern,
-					DisablePipelining: noPipe,
+				for _, noCycle := range []bool{false, true} {
+					cfg := Config{
+						Mode:              ModeAndersen,
+						Workers:           workers,
+						AndersenThreshold: 2, // force Andersen refinement
+						DisableInterning:  noIntern,
+						DisablePipelining: noPipe,
+						DisableCycleElim:  noCycle,
+					}
+					a, err := AnalyzeSource(testProgram, cfg)
+					if err != nil {
+						t.Fatalf("workers=%d noIntern=%v noPipe=%v noCycle=%v: %v",
+							workers, noIntern, noPipe, noCycle, err)
+					}
+					dump := aliasDump(a)
+					if first {
+						want, first = dump, false
+						continue
+					}
+					if dump != want {
+						t.Errorf("workers=%d noIntern=%v noPipe=%v noCycle=%v: results diverge\n--- want\n%s--- got\n%s",
+							workers, noIntern, noPipe, noCycle, want, dump)
+					}
 				}
-				a, err := AnalyzeSource(testProgram, cfg)
-				if err != nil {
-					t.Fatalf("workers=%d noIntern=%v noPipe=%v: %v", workers, noIntern, noPipe, err)
-				}
-				dump := aliasDump(a)
-				if first {
-					want, first = dump, false
-					continue
-				}
-				if dump != want {
-					t.Errorf("workers=%d noIntern=%v noPipe=%v: results diverge\n--- want\n%s--- got\n%s",
-						workers, noIntern, noPipe, want, dump)
+			}
+		}
+	}
+}
+
+// TestDeterministicWithWarmCache extends the determinism check to the
+// result cache: with one cache shared across every knob combination, each
+// run after the first must serve entirely from it (the fingerprint
+// excludes the result-neutral knobs) and still produce the same
+// bit-for-bit dump as a cache-free analysis. Caching trades time, never
+// answers.
+func TestDeterministicWithWarmCache(t *testing.T) {
+	fresh, err := AnalyzeSource(testProgram, Config{
+		Mode: ModeAndersen, Workers: 1, AndersenThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aliasDump(fresh)
+
+	shared := cache.New(cache.Options{})
+	first := true
+	for _, workers := range []int{1, 8} {
+		for _, noIntern := range []bool{false, true} {
+			for _, noPipe := range []bool{false, true} {
+				for _, noCycle := range []bool{false, true} {
+					cfg := Config{
+						Mode:              ModeAndersen,
+						Workers:           workers,
+						AndersenThreshold: 2,
+						DisableInterning:  noIntern,
+						DisablePipelining: noPipe,
+						DisableCycleElim:  noCycle,
+						Cache:             shared,
+					}
+					a, err := AnalyzeSource(testProgram, cfg)
+					if err != nil {
+						t.Fatalf("workers=%d noIntern=%v noPipe=%v noCycle=%v: %v",
+							workers, noIntern, noPipe, noCycle, err)
+					}
+					if dump := aliasDump(a); dump != want {
+						t.Errorf("workers=%d noIntern=%v noPipe=%v noCycle=%v: cached results diverge from fresh\n--- fresh\n%s--- got\n%s",
+							workers, noIntern, noPipe, noCycle, want, dump)
+					}
+					if first {
+						first = false
+						if a.CacheStats.Misses != int64(len(a.Health)) {
+							t.Errorf("first run stats = %+v, want all misses", a.CacheStats)
+						}
+						continue
+					}
+					if a.CacheStats.Misses != 0 {
+						t.Errorf("workers=%d noIntern=%v noPipe=%v noCycle=%v: warm run missed %d times, want pure hits",
+							workers, noIntern, noPipe, noCycle, a.CacheStats.Misses)
+					}
 				}
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bootstrap/internal/andersen"
+	"bootstrap/internal/cache"
 	"bootstrap/internal/callgraph"
 	"bootstrap/internal/cluster"
 	"bootstrap/internal/fscs"
@@ -62,6 +63,10 @@ type ClusterHealth struct {
 	Err error
 	// Stack is the captured stack trace of the last panicked attempt.
 	Stack string
+	// Cached reports that the engine was imported from Config.Cache
+	// instead of solved: the cluster's fingerprint hit a stored result
+	// (bit-for-bit identical to a fresh solve, per Theorem 6).
+	Cached bool
 	// Demoted reports that no engine survived: queries on this cluster's
 	// pointers answer from the flow-insensitive Andersen fallback (still
 	// sound, flow-insensitively precise).
@@ -131,6 +136,32 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 	attempts := 1 + ladderRetries(cfg.Retries)
 	h := ClusterHealth{ClusterID: c.ID}
 	start := time.Now()
+
+	// Consult the result cache before paying for a solve. The fingerprint
+	// covers everything the engine's result can depend on (slice, reachable
+	// CFG skeletons, Steensgaard structure, precision knobs), so a hit
+	// imports the stored summaries and value sets directly. Fault injection
+	// bypasses the cache: injected behavior is attempt-local by design.
+	var cn *cache.Canon
+	useCache := cfg.Cache != nil && cfg.Faults == nil
+	if useCache {
+		cn = cache.NewCanon(prog, sa, cg, c, cache.Params{MaxCond: maxCond, Budget: budget})
+		if data, ok := cfg.Cache.Get(cn.Key()); ok {
+			eng, err := fscs.ImportEngine(prog, cg, sa, c, cn, data,
+				fscs.WithFallback(fallback),
+				fscs.WithBudget(budget),
+				fscs.WithMaxCond(maxCond),
+				fscs.WithInterning(!cfg.DisableInterning))
+			if err == nil {
+				h.Status = HealthOK
+				h.Cached = true
+				h.Elapsed = time.Since(start)
+				return eng, h
+			}
+			// Undecodable payload: demote the hit to a miss and solve.
+			cfg.Cache.Corrupt(cn.Key())
+		}
+	}
 	anyPanic := false     // some attempt panicked
 	lastPanicked := false // the most recent attempt panicked
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -166,6 +197,13 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 			switch {
 			case attempt == 0:
 				h.Status = HealthOK
+				// Only a clean first attempt is stored: retried engines ran
+				// with halved knobs, and the fingerprint keys the originals.
+				if useCache {
+					if payload, ok := eng.ExportState(cn); ok {
+						cfg.Cache.Put(cn.Key(), payload)
+					}
+				}
 			case anyPanic:
 				h.Status = HealthRecovered
 			default:

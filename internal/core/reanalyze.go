@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+
+	"bootstrap/internal/cache"
+	"bootstrap/internal/ir"
+)
+
+// Reanalyze re-runs the bootstrap cascade on newProg with prev's
+// configuration, against a cache warmed with prev's per-cluster results.
+// Clusters of newProg whose slices are equivalent to a cluster of prev
+// (same fingerprint — stable under VarID/Loc renumbering) import the
+// stored result instead of solving; only clusters actually affected by
+// the program change are re-solved. This is the incremental-reanalysis
+// mode the clustering makes possible: per Theorem 6 a cluster's result
+// depends only on its slice, so an unchanged slice means an unchanged
+// result.
+//
+// When prev already ran with a Config.Cache, that cache is reused as-is
+// (prev's solves populated it). Otherwise a fresh in-memory cache is
+// created and warmed from prev's live engines.
+func Reanalyze(prev *Analysis, newProg *ir.Program) (*Analysis, error) {
+	return ReanalyzeContext(context.Background(), prev, newProg)
+}
+
+// ReanalyzeContext is Reanalyze under a cancellation context.
+func ReanalyzeContext(ctx context.Context, prev *Analysis, newProg *ir.Program) (*Analysis, error) {
+	cfg := prev.cfg
+	if cfg.Cache == nil {
+		cfg.Cache = cache.New(cache.Options{})
+		prev.ExportToCache(cfg.Cache)
+	}
+	return AnalyzeProgramContext(ctx, newProg, cfg)
+}
+
+// ExportToCache stores the results of every healthy (HealthOK) cluster
+// engine into dst, keyed by the cluster's fingerprint, and returns how
+// many were stored. Engines that were retried, recovered or demoted are
+// skipped: their state reflects degraded knobs, not the fingerprinted
+// configuration. The receiver is usable afterwards; queries are
+// unaffected.
+func (a *Analysis) ExportToCache(dst *cache.Cache) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	healthy := map[int]bool{}
+	for _, h := range a.Health {
+		if h.Status == HealthOK {
+			healthy[h.ClusterID] = true
+		}
+	}
+	params := cache.Params{
+		MaxCond: maxCondOrDefault(a.cfg.MaxCond),
+		Budget:  a.cfg.ClusterBudget,
+	}
+	n := 0
+	for id, eng := range a.engines {
+		if !healthy[id] {
+			continue
+		}
+		c, ok := a.selected[id]
+		if !ok {
+			continue
+		}
+		cn := cache.NewCanon(a.Prog, a.Steens, a.CallGraph, c, params)
+		payload, ok := eng.ExportState(cn)
+		if !ok {
+			continue
+		}
+		dst.Put(cn.Key(), payload)
+		n++
+	}
+	return n
+}
