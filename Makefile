@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench
+# staticcheck is version-pinned so `make lint` (and therefore `make
+# check`) runs the exact binary CI runs — a lint disagreement between a
+# laptop and a runner is always a version skew bug. `go run` fetches it
+# on first use and caches it in the module cache.
+STATICCHECK_VERSION ?= 2024.1.1
+
+# The workload slice the bench gate measures: small enough for CI, wide
+# enough to cover every cascade stage.
+BENCH_ROWS    = sock,ctrace,autofs,raid,mt_daapd
+BENCH_SCALE   = 0.12
+BENCHTAB_ARGS = -rows $(BENCH_ROWS) -scale $(BENCH_SCALE) -cache-dir .benchcache
+
+.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline
 
 all: check
 
@@ -16,18 +28,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: vet, build, and the full suite under the race
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# lint is CI's lint job: formatting, vet and the pinned staticcheck.
+lint: fmt vet staticcheck
+
+# check is what CI runs: lint, build, and the full suite under the race
 # detector.
-check: vet build race
+check: lint build race
 
 # bench smoke-runs every benchmark once (catching bit-rot without the
-# cost of real measurement) and regenerates the BENCH_fscs.json perf
-# trajectory that CI uploads as an artifact. benchtab runs twice against
-# the same cache directory: the first run is cold (cache_hit_rate 0.0)
-# and populates it, the second must start fully warm (cache_hit_rate
-# 1.0) — CI asserts exactly that on the second run's JSON.
+# cost of real measurement), measures the FSCS perf trajectory into
+# BENCH_fresh.json, and gates it against the committed BENCH_fscs.json.
+# benchtab runs twice against the same cache directory: the first run is
+# cold (cache_hit_rate 0.0) and populates it, the second must start
+# fully warm (cache_hit_rate 1.0) — the gate asserts exactly that on the
+# second run's JSON, plus that no machine-independent speedup ratio fell
+# more than 15% below the baseline's.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -count=1 -benchmem ./...
 	rm -rf .benchcache
-	$(GO) run ./cmd/benchtab -rows sock,ctrace,autofs,raid,mt_daapd -scale 0.12 -cache-dir .benchcache -fscs-json BENCH_fscs.json
-	$(GO) run ./cmd/benchtab -rows sock,ctrace,autofs,raid,mt_daapd -scale 0.12 -cache-dir .benchcache -fscs-json BENCH_fscs.json
+	$(GO) run ./cmd/benchtab $(BENCHTAB_ARGS) -fscs-json BENCH_fresh.json
+	$(GO) run ./cmd/benchtab $(BENCHTAB_ARGS) -fscs-json BENCH_fresh.json
+	$(GO) run ./cmd/benchtab -assert -baseline BENCH_fscs.json -fresh BENCH_fresh.json
+
+# bench-baseline re-measures and promotes the fresh report to the
+# committed baseline — run it (and commit the result) when a PR changes
+# the performance shape on purpose.
+bench-baseline: bench
+	mv BENCH_fresh.json BENCH_fscs.json

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	benchtab [-scale 0.2] [-rows sock,autofs,sendmail] [-compare] [-sweep autofs]
+//	benchtab -assert -baseline BENCH_fscs.json -fresh BENCH_fresh.json
+//
+// -assert is the CI bench-regression gate: it compares a freshly measured
+// FSCS perf report against the committed baseline and exits non-zero when
+// a machine-independent speedup ratio regressed by more than 15% or a
+// warm rerun failed to serve fully from the result cache.
 //
 // Absolute times differ from the paper's 2008 hardware; the shape — who
 // wins, by what rough factor, and where Andersen clustering stops paying
@@ -15,10 +21,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"bootstrap/internal/bench"
+	"bootstrap/internal/cliutil"
 	"bootstrap/internal/synth"
 )
 
@@ -38,10 +46,39 @@ var (
 	perfReps = flag.Int("perf-reps", 3, "best-of-N repetitions for -fscs-json measurements")
 	timings  = flag.Bool("timings", false, "also print per-stage timing columns (fixed cover order, diff-friendly)")
 	cacheDir = flag.String("cache-dir", "", "persistent directory for the per-cluster result cache; a second run against the same directory starts fully warm (cache_hit_rate 1.0)")
+
+	assert   = flag.Bool("assert", false, "bench-regression gate: compare -fresh against -baseline and exit non-zero on a >15% speedup regression or a cold warm-run cache")
+	baseline = flag.String("baseline", "BENCH_fscs.json", "committed baseline report for -assert")
+	fresh    = flag.String("fresh", "BENCH_fresh.json", "freshly measured report for -assert")
+
+	obsFlags cliutil.ObsFlags
 )
+
+func init() {
+	obsFlags.Register(flag.CommandLine)
+}
 
 func main() {
 	flag.Parse()
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer) (err error) {
+	if *assert {
+		return runAssert(out, *baseline, *fresh)
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	opt := bench.Options{
 		Scale:            *scale,
 		Parts:            *parts,
@@ -50,21 +87,21 @@ func main() {
 		ClusterTimeout:   *clusterTimeout,
 		Retries:          *retries,
 		CacheDir:         *cacheDir,
+		Tracer:           sess.Tracer,
+		Metrics:          sess.Metrics,
 	}
 	if *sweep != "" {
 		b, ok := synth.FindBenchmark(*sweep)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchtab: unknown benchmark %q\n", *sweep)
-			os.Exit(1)
+			return fmt.Errorf("unknown benchmark %q", *sweep)
 		}
 		points, err := bench.ThresholdSweep(b, []int{4, 8, 16, 32, 60, 120, 1 << 30}, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("Andersen-threshold ablation on %s (scale %.2f):\n", b.Name, *scale)
-		fmt.Print(bench.FormatSweep(points))
-		return
+		fmt.Fprintf(out, "Andersen-threshold ablation on %s (scale %.2f):\n", b.Name, *scale)
+		fmt.Fprint(out, bench.FormatSweep(points))
+		return nil
 	}
 
 	suite := synth.Table1
@@ -73,8 +110,7 @@ func main() {
 		for _, name := range strings.Split(*rows, ",") {
 			b, ok := synth.FindBenchmark(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "benchtab: unknown benchmark %q\n", name)
-				os.Exit(1)
+				return fmt.Errorf("unknown benchmark %q", name)
 			}
 			suite = append(suite, b)
 		}
@@ -82,39 +118,58 @@ func main() {
 	if *fscsJSON != "" {
 		report, err := bench.FSCSPerf(suite, opt, *perfReps, os.Stderr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			return err
 		}
 		f, err := os.Create(*fscsJSON)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			return err
 		}
-		if err := bench.WriteFSCSJSON(f, report); err == nil {
-			err = f.Close()
-		} else {
+		if err := bench.WriteFSCSJSON(f, report); err != nil {
 			f.Close()
+			return err
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+		if err := f.Close(); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s (%d workloads)\n", *fscsJSON, len(report.Points))
-		return
+		fmt.Fprintf(out, "wrote %s (%d workloads)\n", *fscsJSON, len(report.Points))
+		return nil
 	}
 	measured, err := bench.RunTable(suite, opt, os.Stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchtab:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("\nTable 1 (scale %.2f, %d simulated machines):\n\n", *scale, *parts)
-	fmt.Print(bench.FormatTable(measured))
+	fmt.Fprintf(out, "\nTable 1 (scale %.2f, %d simulated machines):\n\n", *scale, *parts)
+	fmt.Fprint(out, bench.FormatTable(measured))
 	if *timings {
-		fmt.Println("\nPer-stage timings (fixed cover order):")
-		fmt.Print(bench.FormatTimings(measured))
+		fmt.Fprintln(out, "\nPer-stage timings (fixed cover order):")
+		fmt.Fprint(out, bench.FormatTimings(measured))
 	}
 	if *compare {
-		fmt.Println("\nPaper vs measured (shape comparison):")
-		fmt.Print(bench.FormatComparison(measured))
+		fmt.Fprintln(out, "\nPaper vs measured (shape comparison):")
+		fmt.Fprint(out, bench.FormatComparison(measured))
 	}
+	return nil
+}
+
+// runAssert is the bench-regression gate: one error line per violated
+// invariant, an error (non-zero exit) when any fired.
+func runAssert(out io.Writer, basePath, freshPath string) error {
+	base, err := bench.ReadFSCSJSONFile(basePath)
+	if err != nil {
+		return err
+	}
+	fr, err := bench.ReadFSCSJSONFile(freshPath)
+	if err != nil {
+		return err
+	}
+	errs := bench.AssertFSCS(base, fr)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "benchtab: regression:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d bench invariant(s) violated (baseline %s, fresh %s)", len(errs), basePath, freshPath)
+	}
+	fmt.Fprintf(out, "bench gate: %d workloads within %.0f%% of %s, all warm runs fully cached\n",
+		len(base.Points), bench.SpeedupTolerance*100, basePath)
+	return nil
 }

@@ -15,6 +15,8 @@
 //	bootstrap -mode none -stats prog.cpl      # unclustered baseline
 //	bootstrap -cache-dir .btscache prog.cpl   # persistent result cache;
 //	                                          # re-runs import unchanged clusters
+//	bootstrap -trace out.json prog.cpl        # Chrome trace of the cascade
+//	bootstrap -metrics-addr :9090 prog.cpl    # /metrics + /debug/pprof server
 //
 // Fault tolerance: -cluster-timeout bounds each per-cluster engine (the
 // paper's 15-minute analogue), -timeout bounds the whole run, and
@@ -23,6 +25,11 @@
 // halved precision knobs and finally demoted to the flow-insensitive
 // fallback — queries stay sound and the run never errors out. -stats
 // prints the per-cluster health summary.
+//
+// Observability: -trace writes a Chrome trace (load it in Perfetto or
+// chrome://tracing) with one span per cascade phase and per cluster
+// attempt, -metrics-addr serves the live metrics registry and pprof, and
+// -profile captures a cpu/mem/mutex profile of the run.
 package main
 
 import (
@@ -32,7 +39,7 @@ import (
 	"strings"
 	"time"
 
-	"bootstrap/internal/cache"
+	"bootstrap/internal/cliutil"
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
 	"bootstrap/internal/ir"
@@ -41,20 +48,8 @@ import (
 )
 
 var (
-	mode       = flag.String("mode", "andersen", "clustering mode: none|steensgaard|andersen|syntactic")
-	threshold  = flag.Int("threshold", 0, "Andersen threshold (0 = default 60)")
-	useOneFlow = flag.Bool("oneflow", false, "insert the One-Flow cascade stage")
-	workers    = flag.Int("workers", 0, "parallel cluster workers (0 = GOMAXPROCS)")
-	budget     = flag.Int64("budget", 0, "per-cluster work budget (0 = unlimited)")
-
-	runTimeout     = flag.Duration("timeout", 0, "whole-run wall-clock deadline; on expiry remaining clusters degrade to the flow-insensitive fallback (0 = none)")
-	clusterTimeout = flag.Duration("cluster-timeout", 0, "per-cluster wall-clock deadline, the paper's 15-minute analogue (0 = none)")
-	retries        = flag.Int("retries", 1, "degradation-ladder retries per failed cluster, each halving budget and condition width (0 = demote immediately)")
-
-	noIntern   = flag.Bool("no-intern", false, "disable condition-interning memo tables (slower; results identical)")
-	noPipeline = flag.Bool("no-pipeline", false, "run the clustering cascade serially before FSCS instead of pipelined (slower; results identical)")
-	cycleElim  = flag.Bool("cycle-elim", true, "online cycle elimination in the Andersen solver (results identical either way)")
-	cacheDir   = flag.String("cache-dir", "", "directory for the persistent per-cluster result cache; warm re-runs import unchanged clusters instead of re-solving (results identical)")
+	analysisFlags cliutil.AnalysisFlags
+	obsFlags      cliutil.ObsFlags
 
 	dumpIR     = flag.Bool("dump", false, "dump the lowered IR")
 	dotCFG     = flag.Bool("dot", false, "emit the CFGs in GraphViz DOT format")
@@ -71,6 +66,11 @@ var (
 	nullDeref = flag.Bool("nullderef", false, "run the null/dangling-dereference checker")
 )
 
+func init() {
+	analysisFlags.Register(flag.CommandLine)
+	obsFlags.Register(flag.CommandLine)
+}
+
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,26 +84,12 @@ func main() {
 	}
 }
 
-func parseMode(s string) (core.Mode, error) {
-	switch s {
-	case "none":
-		return core.ModeNone, nil
-	case "steensgaard", "steens":
-		return core.ModeSteensgaard, nil
-	case "andersen":
-		return core.ModeAndersen, nil
-	case "syntactic":
-		return core.ModeSyntactic, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
-}
-
-func run(path string) error {
+func run(path string) (err error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	m, err := parseMode(*mode)
+	cfg, err := analysisFlags.Config()
 	if err != nil {
 		return err
 	}
@@ -114,21 +100,19 @@ func run(path string) error {
 		}
 		fmt.Print(prog.Dump())
 	}
-	cfg := core.Config{
-		Mode:              m,
-		AndersenThreshold: *threshold,
-		UseOneFlow:        *useOneFlow,
-		Workers:           *workers,
-		ClusterBudget:     *budget,
-		ClusterTimeout:    *clusterTimeout,
-		RunTimeout:        *runTimeout,
-		Retries:           ladderRetriesFlag(*retries),
-		DisableInterning:  *noIntern,
-		DisablePipelining: *noPipeline,
-		DisableCycleElim:  !*cycleElim,
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
 	}
-	if *cacheDir != "" {
-		cfg.Cache = cache.New(cache.Options{Dir: *cacheDir})
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	cfg.Tracer = sess.Tracer
+	cfg.Metrics = sess.Metrics
+	if cfg.Cache != nil {
+		cfg.Cache.Register(sess.Metrics)
 	}
 	if *races {
 		cfg.Demand = lockset.LockDemand
@@ -158,7 +142,7 @@ func run(path string) error {
 		}
 	}
 	if *clusters {
-		fmt.Printf("alias cover (%s): %d clusters\n", m, len(a.Clusters))
+		fmt.Printf("alias cover (%s): %d clusters\n", cfg.Mode, len(a.Clusters))
 		for _, c := range a.Clusters {
 			names := make([]string, len(c.Pointers))
 			for i, v := range c.Pointers {
@@ -175,7 +159,7 @@ func run(path string) error {
 		if a.Andersen != nil {
 			ss := a.Andersen.SolverStats()
 			fmt.Printf("andersen solver: passes=%d collapses=%d merged=%d cycle-elim=%v\n",
-				ss.Passes, ss.Collapses, ss.Merged, *cycleElim)
+				ss.Passes, ss.Collapses, ss.Merged, analysisFlags.CycleElim)
 		}
 		if cfg.Cache != nil {
 			cs := a.CacheStats
@@ -233,15 +217,6 @@ func run(path string) error {
 		fmt.Print(nullcheck.FormatAll(a.Prog, warnings))
 	}
 	return nil
-}
-
-// ladderRetriesFlag maps the flag value to core.Config.Retries, where 0
-// means "use the default" and negative disables retries.
-func ladderRetriesFlag(n int) int {
-	if n <= 0 {
-		return -1 // demote on the first failure
-	}
-	return n
 }
 
 // healthSummary condenses the per-cluster health report into one field

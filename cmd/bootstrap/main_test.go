@@ -1,29 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
-
-	"bootstrap/internal/core"
 )
-
-func TestParseMode(t *testing.T) {
-	cases := map[string]core.Mode{
-		"none": core.ModeNone, "steensgaard": core.ModeSteensgaard,
-		"steens": core.ModeSteensgaard, "andersen": core.ModeAndersen,
-		"syntactic": core.ModeSyntactic,
-	}
-	for s, want := range cases {
-		got, err := parseMode(s)
-		if err != nil || got != want {
-			t.Errorf("parseMode(%q) = %v, %v; want %v", s, got, err, want)
-		}
-	}
-	if _, err := parseMode("bogus"); err == nil {
-		t.Error("parseMode should reject unknown modes")
-	}
-}
 
 func TestSplitList(t *testing.T) {
 	if got := splitList(""); got != nil {
@@ -107,6 +91,74 @@ func TestRunOnDriver(t *testing.T) {
 	resetFlags()
 	if err := run("../../testdata/nonexistent.cpl"); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestRunTrace is the observability acceptance check at the binary
+// level: -trace writes valid Chrome trace JSON with one span per cascade
+// phase and per cluster attempt, and the outcome args cover cache hits
+// (second run against a warm -cache-dir) and demotions (starved budget).
+func TestRunTrace(t *testing.T) {
+	const path = "../../testdata/driver.cpl"
+	dir := t.TempDir()
+
+	collect := func(trace string, extra ...[2]string) (map[string]int, map[string]int) {
+		t.Helper()
+		resetFlags()
+		_ = flag.Set("trace", trace)
+		for _, kv := range extra {
+			_ = flag.Set(kv[0], kv[1])
+		}
+		if err := run(path); err != nil {
+			t.Fatalf("traced run: %v", err)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &tr); err != nil {
+			t.Fatalf("%s is not valid Chrome trace JSON: %v", trace, err)
+		}
+		names, outcomes := map[string]int{}, map[string]int{}
+		for _, ev := range tr.TraceEvents {
+			names[ev.Name]++
+			if o, ok := ev.Args["outcome"].(string); ok {
+				outcomes[o]++
+			}
+		}
+		return names, outcomes
+	}
+
+	cacheDir := filepath.Join(dir, "cache")
+	names, outcomes := collect(filepath.Join(dir, "cold.json"), [2]string{"cache-dir", cacheDir})
+	for _, phase := range []string{"parse", "steensgaard", "clustering", "fallback", "fscs"} {
+		if names[phase] != 1 {
+			t.Errorf("cold trace: %d %q phase spans, want 1", names[phase], phase)
+		}
+	}
+	if names["attempt"] == 0 {
+		t.Error("cold trace: no attempt spans")
+	}
+	if outcomes["solved"] == 0 {
+		t.Errorf("cold trace outcomes = %v, want solved > 0", outcomes)
+	}
+
+	_, outcomes = collect(filepath.Join(dir, "warm.json"), [2]string{"cache-dir", cacheDir})
+	if outcomes["cached"] == 0 {
+		t.Errorf("warm trace outcomes = %v, want cached > 0", outcomes)
+	}
+
+	_, outcomes = collect(filepath.Join(dir, "starved.json"),
+		[2]string{"budget", "1"}, [2]string{"retries", "-1"})
+	if outcomes["demoted"] == 0 {
+		t.Errorf("starved trace outcomes = %v, want demoted > 0", outcomes)
 	}
 }
 

@@ -10,34 +10,58 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bootstrap/internal/bench"
+	"bootstrap/internal/cliutil"
 	"bootstrap/internal/synth"
 )
 
 var (
 	name  = flag.String("bench", "autofs", "benchmark name (a Table 1 row)")
 	scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper-sized)")
+
+	obsFlags cliutil.ObsFlags
 )
+
+func init() {
+	obsFlags.Register(flag.CommandLine)
+}
 
 func main() {
 	flag.Parse()
-	b, ok := synth.FindBenchmark(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "clusterfig: unknown benchmark %q; rows:\n", *name)
-		for _, row := range synth.Table1 {
-			fmt.Fprintln(os.Stderr, " ", row.Name)
-		}
-		os.Exit(1)
-	}
-	sh, ah, err := bench.Figure1(b, bench.Options{Scale: *scale})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterfig:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("Figure 1 — cluster size frequencies for %s (scale %.2f):\n\n", b.Name, *scale)
-	fmt.Print(bench.FormatHistogram(sh, ah))
-	fmt.Printf("\nmax Steensgaard partition: %d, max Andersen cluster: %d\n",
+}
+
+func run(out io.Writer) (err error) {
+	b, ok := synth.FindBenchmark(*name)
+	if !ok {
+		msg := fmt.Sprintf("unknown benchmark %q; rows:", *name)
+		for _, row := range synth.Table1 {
+			msg += "\n  " + row.Name
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	sh, ah, err := bench.Figure1(b, bench.Options{Scale: *scale, Tracer: sess.Tracer, Metrics: sess.Metrics})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Figure 1 — cluster size frequencies for %s (scale %.2f):\n\n", b.Name, *scale)
+	fmt.Fprint(out, bench.FormatHistogram(sh, ah))
+	fmt.Fprintf(out, "\nmax Steensgaard partition: %d, max Andersen cluster: %d\n",
 		sh[len(sh)-1].Size, ah[len(ah)-1].Size)
+	return nil
 }

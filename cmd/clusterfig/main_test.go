@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// resetFlags restores this command's flags (not the test framework's) to
+// their defaults between runs.
+func resetFlags() {
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		if !strings.HasPrefix(f.Name, "test.") {
+			_ = f.Value.Set(f.DefValue)
+		}
+	})
+}
+
+func TestRunSmoke(t *testing.T) {
+	resetFlags()
+	_ = flag.Set("scale", "0.05")
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("missing figure header:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownBench(t *testing.T) {
+	resetFlags()
+	_ = flag.Set("bench", "nosuchbench")
+	var out bytes.Buffer
+	if err := run(&out); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"bootstrap/internal/bitset"
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 )
 
 // Option configures Analyze.
@@ -78,6 +79,18 @@ type Analysis struct {
 
 // SolverStats returns the solver's work counters.
 func (a *Analysis) SolverStats() SolverStats { return a.stats }
+
+// Record adds the solver's work counters to a metrics registry (nil-safe
+// no-op without one). Call it once per solve; the registry accumulates
+// across solves.
+func (s SolverStats) Record(m *obs.Metrics) {
+	m.Counter("bootstrap_andersen_passes_total",
+		"constraint worklist nodes processed by the Andersen solver").Add(s.Passes)
+	m.Counter("bootstrap_andersen_collapses_total",
+		"online cycle-elimination sweeps run by the Andersen solver").Add(int64(s.Collapses))
+	m.Counter("bootstrap_andersen_merged_total",
+		"variables folded into a cycle representative by the Andersen solver").Add(int64(s.Merged))
+}
 
 type indirectCall struct {
 	fptr ir.VarID

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SpeedupTolerance is the bench-regression gate's allowance: a fresh
+// report's speedup ratio may fall at most this fraction below the
+// committed baseline's before the gate fails. Speedups are ratios of two
+// measurements from the same machine, so they transfer across hardware
+// in a way absolute nanoseconds never do; 15% absorbs ordinary runner
+// noise while still catching a real regression of either hot path.
+const SpeedupTolerance = 0.15
+
+// ReadFSCSJSON parses a BENCH_fscs.json report from r.
+func ReadFSCSJSON(r io.Reader) (FSCSPerfReport, error) {
+	var rep FSCSPerfReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return rep, err
+	}
+	if len(rep.Points) == 0 {
+		return rep, fmt.Errorf("report has no points")
+	}
+	return rep, nil
+}
+
+// ReadFSCSJSONFile parses the report stored at path.
+func ReadFSCSJSONFile(path string) (FSCSPerfReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FSCSPerfReport{}, err
+	}
+	defer f.Close()
+	rep, err := ReadFSCSJSON(f)
+	if err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// AssertFSCS is the CI bench-regression gate: it compares a freshly
+// measured report against the committed baseline and returns one error
+// per violated invariant (nil when everything holds). Checked per
+// baseline workload:
+//
+//   - the workload still exists in the fresh report;
+//   - cluster_speedup and program_speedup have not fallen more than
+//     SpeedupTolerance below the baseline's (cold-path regressions);
+//   - cache_hit_rate is exactly 1.0 — the fresh report must come from a
+//     warm rerun, where anything short of a full hit means the cache's
+//     fingerprinting or import path broke.
+//
+// Absolute nanoseconds are deliberately not compared: they measure the
+// runner, not the code.
+func AssertFSCS(baseline, fresh FSCSPerfReport) []error {
+	freshBy := make(map[string]FSCSPerfPoint, len(fresh.Points))
+	for _, p := range fresh.Points {
+		freshBy[p.Bench] = p
+	}
+	var errs []error
+	for _, base := range baseline.Points {
+		p, ok := freshBy[base.Bench]
+		if !ok {
+			errs = append(errs, fmt.Errorf("%s: missing from the fresh report", base.Bench))
+			continue
+		}
+		errs = append(errs,
+			checkSpeedup(base.Bench, "cluster_speedup", base.ClusterSpeedup, p.ClusterSpeedup),
+			checkSpeedup(base.Bench, "program_speedup", base.ProgramSpeedup, p.ProgramSpeedup))
+		if p.CacheHitRate != 1.0 {
+			errs = append(errs, fmt.Errorf("%s: cache_hit_rate = %.2f, want 1.0 (warm rerun must import every cluster)",
+				base.Bench, p.CacheHitRate))
+		}
+	}
+	out := errs[:0]
+	for _, e := range errs {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func checkSpeedup(bench, name string, base, got float64) error {
+	if base <= 0 {
+		return nil // baseline never measured this column; nothing to hold
+	}
+	floor := base * (1 - SpeedupTolerance)
+	if got < floor {
+		return fmt.Errorf("%s: %s = %.2fx, more than %.0f%% below the baseline %.2fx (floor %.2fx)",
+			bench, name, got, SpeedupTolerance*100, base, floor)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func perfReport(points ...FSCSPerfPoint) FSCSPerfReport {
+	return FSCSPerfReport{Date: "2026-01-01", Scale: 0.12, Reps: 3, Points: points}
+}
+
+func perfPoint(bench string, cluster, program, hitRate float64) FSCSPerfPoint {
+	return FSCSPerfPoint{
+		Bench: bench, Pointers: 100, Clusters: 10,
+		ClusterSpeedup: cluster, ProgramSpeedup: program, CacheHitRate: hitRate,
+	}
+}
+
+func TestAssertFSCSClean(t *testing.T) {
+	base := perfReport(perfPoint("sock", 2.8, 2.6, 1.0), perfPoint("autofs", 3.1, 2.9, 1.0))
+	fresh := perfReport(perfPoint("sock", 2.7, 2.5, 1.0), perfPoint("autofs", 3.4, 3.0, 1.0))
+	if errs := AssertFSCS(base, fresh); len(errs) != 0 {
+		t.Fatalf("clean reports should pass, got %v", errs)
+	}
+}
+
+func TestAssertFSCSWithinTolerance(t *testing.T) {
+	base := perfReport(perfPoint("sock", 2.0, 2.0, 1.0))
+	// 14% below baseline: inside the 15% allowance.
+	fresh := perfReport(perfPoint("sock", 2.0*0.86, 2.0*0.86, 1.0))
+	if errs := AssertFSCS(base, fresh); len(errs) != 0 {
+		t.Fatalf("14%% drop should pass, got %v", errs)
+	}
+}
+
+func TestAssertFSCSSeededRegression(t *testing.T) {
+	base := perfReport(perfPoint("sock", 2.8, 2.6, 1.0))
+	// A seeded >15% cold-path regression must trip the gate.
+	fresh := perfReport(perfPoint("sock", 2.8*0.8, 2.6, 1.0))
+	errs := AssertFSCS(base, fresh)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "cluster_speedup") {
+		t.Fatalf("20%% cluster_speedup drop should fail with one error, got %v", errs)
+	}
+}
+
+func TestAssertFSCSColdCache(t *testing.T) {
+	base := perfReport(perfPoint("sock", 2.8, 2.6, 1.0))
+	fresh := perfReport(perfPoint("sock", 2.8, 2.6, 0.0))
+	errs := AssertFSCS(base, fresh)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "cache_hit_rate") {
+		t.Fatalf("cold-cache fresh report should fail, got %v", errs)
+	}
+}
+
+func TestAssertFSCSMissingBench(t *testing.T) {
+	base := perfReport(perfPoint("sock", 2.8, 2.6, 1.0), perfPoint("autofs", 3.1, 2.9, 1.0))
+	fresh := perfReport(perfPoint("sock", 2.8, 2.6, 1.0))
+	errs := AssertFSCS(base, fresh)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "missing") {
+		t.Fatalf("dropped workload should fail, got %v", errs)
+	}
+}
+
+func TestAssertFSCSZeroBaselineColumn(t *testing.T) {
+	// A baseline measured before a column existed (speedup 0) asserts
+	// nothing about it.
+	base := perfReport(perfPoint("sock", 0, 2.6, 1.0))
+	fresh := perfReport(perfPoint("sock", 1.0, 2.6, 1.0))
+	if errs := AssertFSCS(base, fresh); len(errs) != 0 {
+		t.Fatalf("zero baseline column should be skipped, got %v", errs)
+	}
+}
+
+func TestReadFSCSJSONRoundTrip(t *testing.T) {
+	rep := perfReport(perfPoint("sock", 2.8, 2.6, 1.0))
+	var buf bytes.Buffer
+	if err := WriteFSCSJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFSCSJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 1 || got.Points[0] != rep.Points[0] || got.Scale != rep.Scale {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadFSCSJSONRejectsEmpty(t *testing.T) {
+	if _, err := ReadFSCSJSON(strings.NewReader(`{"points":[]}`)); err == nil {
+		t.Error("empty report should error")
+	}
+	if _, err := ReadFSCSJSON(strings.NewReader("not json")); err == nil {
+		t.Error("malformed report should error")
+	}
+	if _, err := ReadFSCSJSONFile("nonexistent.json"); err == nil {
+		t.Error("missing file should error")
+	}
+}

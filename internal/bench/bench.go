@@ -21,6 +21,7 @@ import (
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 	"bootstrap/internal/steens"
 	"bootstrap/internal/synth"
 )
@@ -53,6 +54,12 @@ type Options struct {
 	// benchtab invocations (a second run against the same directory
 	// starts fully warm).
 	CacheDir string
+	// Tracer and Metrics, when non-nil, observe the per-cluster scheduler
+	// runs (cluster/attempt/cache spans, outcome counters). The perf
+	// measurements (FSCSPerf) never see them: trajectory numbers must not
+	// include instrumentation, however cheap.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 func (o *Options) fill() {
@@ -170,6 +177,8 @@ func runCover(prog *ir.Program, cg *callgraph.Graph, sa *steens.Analysis,
 		ClusterTimeout: opt.ClusterTimeout,
 		Retries:        opt.Retries,
 		Cache:          cc,
+		Tracer:         opt.Tracer,
+		Metrics:        opt.Metrics,
 	}
 	for i, c := range cs {
 		t := time.Now()

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"bootstrap/internal/obs"
 )
 
 // Version is the on-disk entry format version. A version mismatch on
@@ -154,6 +156,32 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.items)
+}
+
+// Bytes returns the total payload bytes held by the in-memory tier.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Register exposes the cache's live counters on a metrics registry
+// (nil-safe no-op without one): traffic as counters read at scrape time,
+// occupancy as gauges. Register once per cache — the metrics read
+// through to this cache for its whole lifetime.
+func (c *Cache) Register(m *obs.Metrics) {
+	m.CounterFunc("bootstrap_cache_hits_total",
+		"result-cache lookups served from memory or disk", func() int64 { return c.Stats().Hits })
+	m.CounterFunc("bootstrap_cache_misses_total",
+		"result-cache lookups that found nothing", func() int64 { return c.Stats().Misses })
+	m.CounterFunc("bootstrap_cache_read_bytes_total",
+		"payload bytes served by result-cache hits", func() int64 { return c.Stats().BytesRead })
+	m.CounterFunc("bootstrap_cache_written_bytes_total",
+		"payload bytes accepted by result-cache stores", func() int64 { return c.Stats().BytesWritten })
+	m.GaugeFunc("bootstrap_cache_entries",
+		"entries in the result cache's in-memory tier", func() float64 { return float64(c.Len()) })
+	m.GaugeFunc("bootstrap_cache_bytes",
+		"payload bytes in the result cache's in-memory tier", func() float64 { return float64(c.Bytes()) })
 }
 
 // insert adds or replaces the in-memory entry and evicts LRU entries

@@ -1,0 +1,166 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+
+	"bootstrap/internal/obs"
+)
+
+// ObsFlags is the observability flag group shared by every binary:
+// Chrome-trace capture, the metrics/pprof debug server, and one-shot
+// runtime profiles.
+type ObsFlags struct {
+	Trace       string
+	MetricsAddr string
+	Profile     string
+}
+
+// Register installs the observability flags on fs.
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the cascade's phases and cluster attempts to this file")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof on this address for the life of the process")
+	fs.StringVar(&f.Profile, "profile", "", "write a runtime profile: cpu (cpu.pprof, whole run), mem (mem.pprof, at exit) or mutex (mutex.pprof, at exit)")
+}
+
+// Session is the live observability state behind the flags. Tracer and
+// Metrics are nil when the corresponding flag is off, so they plug
+// straight into core.Config — disabled observability stays free.
+type Session struct {
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
+
+	tracePath string
+	profile   string
+	cpuFile   *os.File
+	ln        net.Listener
+}
+
+// mutexProfileFraction samples 1/5 of mutex contention events — dense
+// enough for the coarse per-phase locks here, cheap enough to leave on.
+const mutexProfileFraction = 5
+
+// Start brings up everything the flags ask for: the tracer, the metrics
+// registry plus debug server (bound before returning, so address errors
+// surface here), and the requested profile. Always returns a usable
+// session; call Close when the run is done.
+func (f *ObsFlags) Start() (*Session, error) {
+	s := &Session{tracePath: f.Trace, profile: f.Profile}
+	if f.Trace != "" {
+		s.Tracer = obs.NewTracer()
+	}
+	if f.MetricsAddr != "" {
+		s.Metrics = obs.NewMetrics()
+		s.Metrics.GaugeFunc("bootstrap_goroutines",
+			"live goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+		s.Metrics.GaugeFunc("bootstrap_heap_alloc_bytes",
+			"bytes of allocated heap objects", func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.HeapAlloc)
+			})
+		ln, err := net.Listen("tcp", f.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics-addr: %w", err)
+		}
+		s.ln = ln
+		srv := &http.Server{Handler: s.Metrics.ServeMux()}
+		go srv.Serve(ln) //nolint:errcheck // dies with the process
+	}
+	switch f.Profile {
+	case "":
+	case "cpu":
+		cf, err := os.Create("cpu.pprof")
+		if err != nil {
+			s.shutdown()
+			return nil, err
+		}
+		if err := rpprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			s.shutdown()
+			return nil, err
+		}
+		s.cpuFile = cf
+	case "mem":
+		// Written at Close; nothing to arm.
+	case "mutex":
+		runtime.SetMutexProfileFraction(mutexProfileFraction)
+	default:
+		s.shutdown()
+		return nil, fmt.Errorf("unknown -profile %q (want cpu, mem or mutex)", f.Profile)
+	}
+	return s, nil
+}
+
+// MetricsAddr returns the address the debug server actually bound
+// (useful with ":0"), or "" when it is off.
+func (s *Session) MetricsAddr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close flushes everything the session owes the filesystem: the Chrome
+// trace, the armed profile, and the expvar publication of the final
+// metric values. The first error wins; the rest still run.
+func (s *Session) Close() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		rpprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+	}
+	switch s.profile {
+	case "mem":
+		runtime.GC() // settle the heap so the profile reflects live data
+		keep(writeProfile("heap", "mem.pprof"))
+	case "mutex":
+		keep(writeProfile("mutex", "mutex.pprof"))
+		runtime.SetMutexProfileFraction(0)
+	}
+	if s.Tracer != nil {
+		f, err := os.Create(s.tracePath)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(s.Tracer.WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	s.Metrics.PublishExpvar("")
+	s.shutdown()
+	return first
+}
+
+func (s *Session) shutdown() {
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+}
+
+func writeProfile(kind, path string) error {
+	p := rpprof.Lookup(kind)
+	if p == nil {
+		return fmt.Errorf("no %s profile", kind)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -28,6 +28,7 @@ import (
 
 	"bootstrap/internal/andersen"
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 	"bootstrap/internal/steens"
 )
 
@@ -424,10 +425,25 @@ func StreamAndersen(ctx context.Context, p *ir.Program, sa *steens.Analysis, thr
 			}
 		}
 	}()
+	// A tracer threaded through ctx (obs.ContextWithTracer) records one
+	// "refine" span per oversized partition — the Andersen solves that
+	// overlap the FSCS stage under pipelining — on per-worker tracks.
+	tr := obs.TracerFrom(ctx)
 	for w := 0; w < workers; w++ {
+		tid := obs.ClustererTID(w)
+		tr.NameThread(tid, fmt.Sprintf("clusterer-%d", w))
 		go func() {
 			for i := range jobs {
-				results[i] <- buildPartition(ix, parts[i], threshold, aopts)
+				part := parts[i]
+				if tr != nil && len(part) > threshold {
+					sp := tr.Start("cluster", "refine", tid).
+						Arg("partition", i).Arg("size", len(part))
+					cs := buildPartition(ix, part, threshold, aopts)
+					sp.Arg("clusters", len(cs)).End()
+					results[i] <- cs
+					continue
+				}
+				results[i] <- buildPartition(ix, part, threshold, aopts)
 			}
 		}()
 	}

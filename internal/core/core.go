@@ -27,6 +27,7 @@ import (
 	"bootstrap/internal/frontend"
 	"bootstrap/internal/fscs"
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 	"bootstrap/internal/oneflow"
 	"bootstrap/internal/steens"
 )
@@ -131,6 +132,19 @@ type Config struct {
 	// shared across runs and programs; see package cache. Fault injection
 	// (Faults) bypasses it, and lazy query-time engines are not cached.
 	Cache *cache.Cache
+	// Tracer, when non-nil, records one span per cascade phase (parse,
+	// Steensgaard, One-Flow, clustering, fallback, FSCS stage), per
+	// scheduled cluster and ladder attempt (with cluster id, size, worker
+	// and outcome — solved, cached or demoted), and per cache
+	// probe/import/store, in the Chrome trace event format (see package
+	// obs). Nil disables tracing; every span call is a nil-check no-op.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates the run's work counters and
+	// histograms (worklist tuples, interning hits, cluster outcomes,
+	// solve-time distribution, solver passes; see DESIGN.md §10). The
+	// registry may be shared across runs — counters only ever add. Nil
+	// disables; engines then skip even the end-of-run flush.
+	Metrics *obs.Metrics
 }
 
 // andersenOpts translates the config's solver knobs into Andersen
@@ -194,10 +208,13 @@ func AnalyzeSourceContext(ctx context.Context, src string, cfg Config) (*Analysi
 	// the other stages from the total underflows once stages overlap
 	// wall-clock (parallel FSCS makes Wall < FSCS).
 	t0 := time.Now()
+	sp := cfg.Tracer.Start("phase", "parse", obs.TIDMain).Arg("bytes", len(src))
 	prog, err := frontend.LowerSource(src)
 	if err != nil {
+		sp.Arg("error", err.Error()).End()
 		return nil, err
 	}
+	sp.Arg("vars", prog.NumVars()).End()
 	lower := time.Since(t0)
 	a, err := AnalyzeProgramContext(ctx, prog, cfg)
 	if err != nil {
@@ -248,19 +265,26 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 		return a
 	}
 
+	tr := cfg.Tracer
+	tr.NameThread(obs.TIDMain, "cascade")
+
 	// Stage 0: Steensgaard over the whole program (the scalable base of
 	// the cascade), plus function-pointer devirtualization.
 	t0 := time.Now()
+	sp := tr.Start("phase", "steensgaard", obs.TIDMain)
 	sa := steens.Analyze(prog)
 	if frontend.HasIndirectCalls(prog) {
 		if err := frontend.Devirtualize(prog, func(_ ir.Loc, fp ir.VarID) []ir.FuncID {
 			return sa.Targets(fp)
 		}); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		sa = steens.Analyze(prog)
 	}
 	a.Steens = sa
+	sp.Arg("partitions", sa.NumPartitions()).Arg("max_partition", sa.MaxPartitionSize()).End()
+	sa.Record(cfg.Metrics)
 	a.Timing.Steensgaard = time.Since(t0)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
@@ -272,7 +296,9 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	var of *oneflow.Analysis
 	if cfg.UseOneFlow {
 		t := time.Now()
+		sp := tr.Start("phase", "oneflow", obs.TIDMain)
 		of = oneflow.AnalyzeWith(prog, sa)
+		sp.End()
 		a.Timing.OneFlow = time.Since(t)
 	}
 
@@ -290,6 +316,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 
 	// Stage 1: build the alias cover.
 	t1 := time.Now()
+	sp = tr.Start("phase", "clustering", obs.TIDMain).Arg("mode", cfg.Mode.String())
 	switch cfg.Mode {
 	case ModeNone:
 		a.Clusters = []*cluster.Cluster{cluster.BuildWhole(prog, sa)}
@@ -305,16 +332,21 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	case ModeSyntactic:
 		a.Clusters = cluster.BuildSyntactic(prog, sa)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}
+	sp.Arg("clusters", len(a.Clusters)).End()
 	a.Timing.Clustering = time.Since(t1)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
 	}
 
 	// The flow-insensitive fallback for imprecise FSCS paths.
+	sp = tr.Start("phase", "fallback", obs.TIDMain)
 	a.Andersen = andersen.Analyze(prog, cfg.andersenOpts()...)
 	a.CallGraph = callgraph.Build(prog)
+	sp.End()
+	a.Andersen.SolverStats().Record(cfg.Metrics)
 
 	// Demand-driven selection, then the hybrid size cut-off: oversized
 	// clusters keep the cheap flow-insensitive answer.
@@ -359,20 +391,43 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	healths := make([]ClusterHealth, len(work))
 
 	tw := time.Now()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, c := range work {
-		wg.Add(1)
-		go func(i int, c *cluster.Cluster) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			engines[i], healths[i] = RunCluster(runCtx, prog, a.CallGraph, sa, c, a.Andersen, cfg)
+	fsp := tr.Start("phase", "fscs", obs.TIDMain).
+		Arg("clusters", len(work)).Arg("workers", cfg.Workers)
+	if cfg.Workers == 1 {
+		// Single-worker runs execute inline in cover order — no goroutine
+		// scheduling, so a Workers=1 run (and its trace) is deterministic.
+		tr.NameThread(obs.WorkerTID(0), "fscs-worker-0")
+		wctx := obs.ContextWithWorker(runCtx, 0)
+		for i, c := range work {
+			engines[i], healths[i] = RunCluster(wctx, prog, a.CallGraph, sa, c, a.Andersen, cfg)
 			a.Timing.PerCluster[i] = healths[i].Elapsed
-		}(i, c)
+		}
+	} else {
+		// Workers are identities, not just permits: each goroutine borrows
+		// a worker id from the pool so its spans land on that worker's
+		// trace track, and the pool's capacity bounds the parallelism the
+		// way the former semaphore did.
+		var wg sync.WaitGroup
+		ids := make(chan int, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			ids <- w
+			tr.NameThread(obs.WorkerTID(w), fmt.Sprintf("fscs-worker-%d", w))
+		}
+		for i, c := range work {
+			wg.Add(1)
+			go func(i int, c *cluster.Cluster) {
+				defer wg.Done()
+				w := <-ids
+				defer func() { ids <- w }()
+				wctx := obs.ContextWithWorker(runCtx, w)
+				engines[i], healths[i] = RunCluster(wctx, prog, a.CallGraph, sa, c, a.Andersen, cfg)
+				a.Timing.PerCluster[i] = healths[i].Elapsed
+			}(i, c)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	a.Timing.Wall = time.Since(tw)
+	fsp.End()
 	if err := ctx.Err(); err != nil {
 		// Explicit caller cancellation aborts; cfg deadlines never land
 		// here (runCtx expiring only degrades clusters).
@@ -408,11 +463,15 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 // RunTimeout degrades FSCS precision per cluster but must never truncate
 // the cover itself, or queries on missing clusters would be unsound.
 func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steens.Analysis, cfg Config) (*Analysis, error) {
+	tr := cfg.Tracer
+	tr.NameThread(obs.TIDFallback, "fallback")
 	fallbackReady := make(chan struct{})
 	go func() {
 		defer close(fallbackReady)
+		sp := tr.Start("phase", "fallback", obs.TIDFallback)
 		a.Andersen = andersen.Analyze(prog, cfg.andersenOpts()...)
 		a.CallGraph = callgraph.Build(prog)
+		sp.End()
 	}()
 
 	runCtx := ctx
@@ -423,7 +482,10 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	}
 
 	t1 := time.Now()
-	stream := cluster.StreamAndersen(ctx, prog, sa, cfg.AndersenThreshold, cfg.Workers, cfg.andersenOpts()...)
+	fsp := tr.Start("phase", "fscs", obs.TIDMain).Arg("workers", cfg.Workers)
+	csp := tr.Start("phase", "clustering", obs.TIDMain).Arg("mode", cfg.Mode.String())
+	stream := cluster.StreamAndersen(obs.ContextWithTracer(ctx, tr), prog, sa,
+		cfg.AndersenThreshold, cfg.Workers, cfg.andersenOpts()...)
 
 	type slot struct {
 		c   *cluster.Cluster
@@ -434,13 +496,15 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		tr.NameThread(obs.WorkerTID(w), fmt.Sprintf("fscs-worker-%d", w))
+		go func(w int) {
 			defer wg.Done()
 			<-fallbackReady
+			wctx := obs.ContextWithWorker(runCtx, w)
 			for s := range jobs {
-				s.eng, s.h = RunCluster(runCtx, prog, a.CallGraph, sa, s.c, a.Andersen, cfg)
+				s.eng, s.h = RunCluster(wctx, prog, a.CallGraph, sa, s.c, a.Andersen, cfg)
 			}
-		}()
+		}(w)
 	}
 
 	// Demand-driven selection and the hybrid size cut-off apply per
@@ -474,9 +538,12 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	// Under pipelining the clustering span overlaps the FSCS wall clock; it
 	// ends when the last partition's refinement has been delivered.
 	a.Timing.Clustering = time.Since(t1)
+	csp.Arg("clusters", len(a.Clusters)).End()
 	close(jobs)
 	wg.Wait()
 	a.Timing.Wall = time.Since(t1)
+	fsp.Arg("clusters", len(slots)).End()
+	a.Andersen.SolverStats().Record(cfg.Metrics)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
 	}
@@ -569,7 +636,8 @@ func (a *Analysis) getEngine(clusterID int) *fscs.Engine {
 		fscs.WithFallback(a.Andersen),
 		fscs.WithBudget(a.cfg.ClusterBudget),
 		fscs.WithMaxCond(maxCondOrDefault(a.cfg.MaxCond)),
-		fscs.WithInterning(!a.cfg.DisableInterning))
+		fscs.WithInterning(!a.cfg.DisableInterning),
+		fscs.WithMetrics(a.cfg.Metrics))
 	a.engines[clusterID] = e
 	return e
 }

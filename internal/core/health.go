@@ -13,6 +13,7 @@ import (
 	"bootstrap/internal/cluster"
 	"bootstrap/internal/fscs"
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 	"bootstrap/internal/steens"
 )
 
@@ -73,6 +74,20 @@ type ClusterHealth struct {
 	Demoted bool
 }
 
+// Outcome is the one-word disposition used by traces and metrics:
+// "cached" (imported from the result cache), "demoted" (fell back to the
+// flow-insensitive answer) or "solved" (an engine ran to completion).
+func (h ClusterHealth) Outcome() string {
+	switch {
+	case h.Cached:
+		return "cached"
+	case h.Demoted:
+		return "demoted"
+	default:
+		return "solved"
+	}
+}
+
 // defaultRetries is the degradation ladder's default: one retry with
 // halved MaxCond and budget before demotion.
 const defaultRetries = 1
@@ -131,6 +146,43 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	worker := obs.WorkerFrom(ctx)
+	tid := obs.WorkerTID(worker)
+	sp := cfg.Tracer.Start("cluster", fmt.Sprintf("cluster-%d", c.ID), tid).
+		Arg("cluster", c.ID).Arg("size", c.Size()).Arg("worker", worker)
+	eng, h := runLadder(ctx, prog, cg, sa, c, fallback, cfg, tid)
+	sp.Arg("attempts", h.Attempts).
+		Arg("status", h.Status.String()).
+		Arg("outcome", h.Outcome()).
+		End()
+	recordClusterMetrics(cfg.Metrics, c, h)
+	return eng, h
+}
+
+// recordClusterMetrics books one finished cluster into the registry.
+func recordClusterMetrics(m *obs.Metrics, c *cluster.Cluster, h ClusterHealth) {
+	if m == nil {
+		return
+	}
+	m.Counter("bootstrap_clusters_"+h.Outcome()+"_total",
+		"clusters by final outcome (solved, cached, demoted)").Add(1)
+	if h.Attempts > 1 {
+		m.Counter("bootstrap_ladder_retries_total",
+			"degradation-ladder retry attempts across all clusters").Add(int64(h.Attempts - 1))
+	}
+	m.Histogram("bootstrap_cluster_solve_seconds",
+		"wall-clock per cluster across all ladder attempts", obs.SecondsBuckets).
+		Observe(h.Elapsed.Seconds())
+	m.Histogram("bootstrap_cluster_size_pointers",
+		"pointers per scheduled cluster", obs.SizeBuckets).
+		Observe(float64(c.Size()))
+}
+
+// runLadder is RunCluster's body: the cache probe plus the degradation
+// ladder itself, emitting attempt and cache spans on the worker's track.
+func runLadder(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *steens.Analysis,
+	c *cluster.Cluster, fallback *andersen.Analysis, cfg Config, tid int) (*fscs.Engine, ClusterHealth) {
+	tr := cfg.Tracer
 	budget := cfg.ClusterBudget
 	maxCond := maxCondOrDefault(cfg.MaxCond)
 	attempts := 1 + ladderRetries(cfg.Retries)
@@ -145,13 +197,20 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 	var cn *cache.Canon
 	useCache := cfg.Cache != nil && cfg.Faults == nil
 	if useCache {
+		psp := tr.Start("cache", "cache.probe", tid).Arg("cluster", c.ID)
 		cn = cache.NewCanon(prog, sa, cg, c, cache.Params{MaxCond: maxCond, Budget: budget})
-		if data, ok := cfg.Cache.Get(cn.Key()); ok {
+		data, ok := cfg.Cache.Get(cn.Key())
+		psp.Arg("hit", ok).End()
+		if ok {
+			isp := tr.Start("cache", "cache.import", tid).
+				Arg("cluster", c.ID).Arg("bytes", len(data))
 			eng, err := fscs.ImportEngine(prog, cg, sa, c, cn, data,
 				fscs.WithFallback(fallback),
 				fscs.WithBudget(budget),
 				fscs.WithMaxCond(maxCond),
-				fscs.WithInterning(!cfg.DisableInterning))
+				fscs.WithInterning(!cfg.DisableInterning),
+				fscs.WithMetrics(cfg.Metrics))
+			isp.Arg("ok", err == nil).End()
 			if err == nil {
 				h.Status = HealthOK
 				h.Cached = true
@@ -182,14 +241,23 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 			fscs.WithMaxCond(maxCond),
 			fscs.WithContext(attemptCtx),
 			fscs.WithInterning(!cfg.DisableInterning),
+			fscs.WithMetrics(cfg.Metrics),
 		}
 		if cfg.Faults != nil {
 			if hook := cfg.Faults.Hook(c.ID); hook != nil {
 				opts = append(opts, fscs.WithHook(hook))
 			}
 		}
+		asp := tr.Start("cluster", "attempt", tid).
+			Arg("cluster", c.ID).Arg("attempt", attempt).
+			Arg("budget", budget).Arg("max_cond", maxCond)
 		eng, err, stack := runAttempt(prog, cg, sa, c, opts)
 		cancel()
+		if err == nil {
+			asp.Arg("ok", true).End()
+		} else {
+			asp.Arg("ok", false).Arg("error", err.Error()).End()
+		}
 		h.Attempts = attempt + 1
 		if err == nil {
 			h.Err = nil
@@ -201,7 +269,10 @@ func RunCluster(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *
 				// with halved knobs, and the fingerprint keys the originals.
 				if useCache {
 					if payload, ok := eng.ExportState(cn); ok {
+						ssp := tr.Start("cache", "cache.store", tid).
+							Arg("cluster", c.ID).Arg("bytes", len(payload))
 						cfg.Cache.Put(cn.Key(), payload)
+						ssp.End()
 					}
 				}
 			case anyPanic:

@@ -11,6 +11,7 @@ import (
 	"bootstrap/internal/cluster"
 	"bootstrap/internal/intern"
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 	"bootstrap/internal/steens"
 )
 
@@ -70,6 +71,15 @@ func WithBudget(n int64) Option {
 	return func(e *Engine) { e.budget = n }
 }
 
+// WithMetrics attaches a metrics registry: when Run finishes (cleanly or
+// not) the engine flushes its work counters — tuples charged, summaries
+// built, conditions interned, memo hits/misses — into it with one
+// counter-add each. Nil disables (the default); per-tuple work never
+// touches the registry either way, so the hot path is unaffected.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(e *Engine) { e.metrics = m }
+}
+
 // WithInterning toggles the hash-consed condition fast path (default on):
 // the With/And memo tables that make repeated conjunction O(1). Turning it
 // off recomputes every conjunction structurally — the representation stays
@@ -101,6 +111,7 @@ type Engine struct {
 	cause      error           // first failure: ErrBudget, ctx.Err(), or a hook error
 	ctx        context.Context // optional cancellation; nil = never cancelled
 	hook       Hook            // optional fault-injection/instrumentation hook
+	metrics    *obs.Metrics    // optional registry Run flushes work counters into
 
 	// tab hash-conses atoms and conditions to dense integer IDs; every
 	// internal tuple, worklist item and cache below is keyed by these IDs
@@ -175,6 +186,32 @@ func (e *Engine) Err() error { return e.cause }
 // far (≥ 1: the true condition) — an instrumentation window into the
 // interning tables.
 func (e *Engine) CondsInterned() int { return e.tab.conds.Len() }
+
+// InternStats returns the condition-operator memo traffic so far: hits
+// (answered from the With/And memo tables) and misses (computed
+// structurally — every operation, when interning is disabled).
+func (e *Engine) InternStats() (hits, misses int64) {
+	return e.tab.memoHits, e.tab.memoMisses
+}
+
+// flushMetrics adds the engine's work counters to the attached registry
+// — called once when Run finishes, never on the per-tuple path.
+func (e *Engine) flushMetrics() {
+	if e.metrics == nil {
+		return
+	}
+	hits, misses := e.InternStats()
+	e.metrics.Counter("bootstrap_fscs_tuples_total",
+		"worklist tuples charged across all FSCS engines").Add(e.TuplesProcessed)
+	e.metrics.Counter("bootstrap_fscs_summaries_total",
+		"function summaries built across all FSCS engines").Add(int64(e.SummariesBuilt))
+	e.metrics.Counter("bootstrap_fscs_conds_interned_total",
+		"distinct conditions hash-consed across all FSCS engines").Add(int64(e.CondsInterned()))
+	e.metrics.Counter("bootstrap_fscs_intern_hits_total",
+		"condition-operator results answered from the interning memo tables").Add(hits)
+	e.metrics.Counter("bootstrap_fscs_intern_misses_total",
+		"condition-operator results computed structurally").Add(misses)
+}
 
 // fail marks the engine aborted, keeping the first cause.
 func (e *Engine) fail(err error) {

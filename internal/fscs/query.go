@@ -452,7 +452,16 @@ func (e *Engine) MustAliasInContext(p, q ir.VarID, loc ir.Loc, ctx Context) (boo
 // On abort Run returns the cause: ErrBudget, the context's error
 // (WithContext), or the hook's error (WithHook). Results computed so far
 // remain queryable; queries degrade soundly to the fallback.
+//
+// When a registry was attached (WithMetrics), Run flushes the engine's
+// work counters into it on the way out, clean or not.
 func (e *Engine) Run() error {
+	err := e.run()
+	e.flushMetrics()
+	return err
+}
+
+func (e *Engine) run() error {
 	if !e.checkpoint() {
 		return e.cause
 	}

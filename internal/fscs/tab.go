@@ -33,6 +33,11 @@ type condTab struct {
 	memo     bool
 
 	maxAtoms int
+
+	// Memo traffic, flushed into the metrics registry when Run ends.
+	// Plain (non-atomic) ints: a condTab belongs to one engine.
+	memoHits   int64
+	memoMisses int64
 }
 
 func newCondTab(maxAtoms int, memo bool) *condTab {
@@ -60,9 +65,11 @@ func (t *condTab) with(c CondID, a Atom) CondID {
 	aid := t.atomID(a)
 	if t.memo {
 		if r, ok := t.withMemo.Get(c, aid); ok {
+			t.memoHits++
 			return r
 		}
 	}
+	t.memoMisses++
 	r := t.withSlow(c, aid)
 	if t.memo {
 		t.withMemo.Put(c, aid, r)
@@ -93,9 +100,11 @@ func (t *condTab) and(c, d CondID) CondID {
 	}
 	if t.memo {
 		if r, ok := t.andMemo.Get(c, d); ok {
+			t.memoHits++
 			return r
 		}
 	}
+	t.memoMisses++
 	merged := intern.MergeSorted(t.conds.Value(c), t.conds.Value(d))
 	var r CondID
 	if len(merged) > t.maxAtoms {

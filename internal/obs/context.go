@@ -1,0 +1,42 @@
+package obs
+
+import "context"
+
+type tracerKey struct{}
+type workerKey struct{}
+
+// ContextWithTracer threads a tracer through call chains whose
+// signatures predate observability (cluster streaming, the scheduler's
+// worker contexts). A nil tracer returns ctx unchanged.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil — and nil is a fully
+// working no-op tracer, so callers never branch.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithWorker tags ctx with the scheduler worker index that will
+// execute under it, so spans recorded downstream land on that worker's
+// trace track.
+func ContextWithWorker(ctx context.Context, worker int) context.Context {
+	return context.WithValue(ctx, workerKey{}, worker)
+}
+
+// WorkerFrom returns the context's worker index, defaulting to 0.
+func WorkerFrom(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	w, _ := ctx.Value(workerKey{}).(int)
+	return w
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges and histograms. The
+// registry itself is locked only at registration and export time; the
+// instruments it hands out are single atomic words on the update path,
+// so instrumented code pays one atomic add per event — and nothing at
+// all when the registry is nil (every method no-ops).
+type Metrics struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*metricEntry
+}
+
+type metricEntry struct {
+	name, help, typ string // typ: "counter", "gauge" or "histogram"
+	counter         *Counter
+	gauge           *Gauge
+	intFn           func() int64   // CounterFunc
+	floatFn         func() float64 // GaugeFunc
+	hist            *Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byName: map[string]*metricEntry{}}
+}
+
+// Counter is a monotone int64. All methods are nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. All methods are nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative-exported buckets with
+// fixed upper bounds, plus a running sum — the Prometheus histogram
+// shape. All methods are nil-safe.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// SecondsBuckets are the default histogram bounds for durations in
+// seconds: per-cluster solves range from microseconds (tiny clusters) to
+// whole seconds (degradation-ladder timeouts).
+var SecondsBuckets = []float64{
+	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	100e-3, 250e-3, 500e-3, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default histogram bounds for cluster sizes in
+// pointers — powers of two around the paper's Andersen threshold (60).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// register returns the entry under name, creating it with mk on first
+// use. Re-registering a name with a different metric type panics: two
+// call sites disagreeing on what a name means is a programming error
+// worth failing loudly on.
+func (m *Metrics) register(name, help, typ string, mk func(*metricEntry)) *metricEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.byName[name]; ok {
+		if e.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, e.typ))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, help: help, typ: typ}
+	mk(e)
+	m.byName[name] = e
+	m.order = append(m.order, name)
+	return e
+}
+
+// Counter returns (registering on first use) the named counter. A nil
+// registry returns a nil counter, whose methods no-op.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.register(name, help, "counter", func(e *metricEntry) {
+		e.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.register(name, help, "gauge", func(e *metricEntry) {
+		e.gauge = &Gauge{}
+	}).gauge
+}
+
+// CounterFunc registers a counter whose value is read from f at export
+// time — for sources that already keep their own monotone counters
+// (cache stats, solver stats).
+func (m *Metrics) CounterFunc(name, help string, f func() int64) {
+	if m == nil {
+		return
+	}
+	m.register(name, help, "counter", func(e *metricEntry) { e.intFn = f })
+}
+
+// GaugeFunc registers a gauge whose value is read from f at export time.
+func (m *Metrics) GaugeFunc(name, help string, f func() float64) {
+	if m == nil {
+		return
+	}
+	m.register(name, help, "gauge", func(e *metricEntry) { e.floatFn = f })
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given ascending bucket upper bounds (nil selects SecondsBuckets).
+func (m *Metrics) Histogram(name, help string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = SecondsBuckets
+	}
+	return m.register(name, help, "histogram", func(e *metricEntry) {
+		e.hist = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}).hist
+}
+
+func (e *metricEntry) value() float64 {
+	switch {
+	case e.counter != nil:
+		return float64(e.counter.Value())
+	case e.gauge != nil:
+		return e.gauge.Value()
+	case e.intFn != nil:
+		return float64(e.intFn())
+	case e.floatFn != nil:
+		return e.floatFn()
+	}
+	return 0
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (registration order, one # HELP/# TYPE pair each).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	entries := make([]*metricEntry, len(m.order))
+	for i, name := range m.order {
+		entries[i] = m.byName[name]
+	}
+	m.mu.Unlock()
+
+	for _, e := range entries {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ); err != nil {
+			return err
+		}
+		if e.hist != nil {
+			cum := int64(0)
+			for i, b := range e.hist.bounds {
+				cum += e.hist.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += e.hist.counts[len(e.hist.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				e.name, cum, e.name, formatFloat(e.hist.Sum()), e.name, e.hist.Count()); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry in the Prometheus text format — mount it
+// on /metrics.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar exposes every currently registered metric through the
+// process-global expvar registry under prefix+name (histograms as
+// {count, sum} pairs). Publishing is idempotent per name — expvar
+// forbids re-publication, and re-running an analysis must not panic.
+func (m *Metrics) PublishExpvar(prefix string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	entries := make([]*metricEntry, len(m.order))
+	for i, name := range m.order {
+		entries[i] = m.byName[name]
+	}
+	m.mu.Unlock()
+
+	for _, e := range entries {
+		name := prefix + e.name
+		if expvar.Get(name) != nil {
+			continue
+		}
+		e := e
+		if e.hist != nil {
+			expvar.Publish(name, expvar.Func(func() any {
+				return map[string]any{"count": e.hist.Count(), "sum": e.hist.Sum()}
+			}))
+			continue
+		}
+		expvar.Publish(name, expvar.Func(func() any { return e.value() }))
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("phase", "parse", 0)
+	sp.Arg("k", 1).Arg("j", "v")
+	sp.End()
+	tr.Instant("phase", "tick", 0, nil)
+	tr.NameThread(0, "main")
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil tracer Events = %v, want nil", got)
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer WriteJSON: %v", err)
+	}
+
+	var m *Metrics
+	m.Counter("c", "").Inc()
+	m.Gauge("g", "").Set(2)
+	m.Histogram("h", "", nil).Observe(0.5)
+	m.CounterFunc("cf", "", func() int64 { return 1 })
+	m.GaugeFunc("gf", "", func() float64 { return 1 })
+	m.PublishExpvar("nil_")
+	if err := m.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil metrics WritePrometheus: %v", err)
+	}
+}
+
+func TestTracerCanonicalOrder(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(1, "worker-1")
+	tr.NameThread(0, "main")
+	tr.Start("phase", "a", 0).End()
+	tr.Start("cluster", "c1", 1).Arg("cluster", 1).End()
+	tr.Start("phase", "b", 0).End()
+
+	evs := tr.Events()
+	wantNames := []string{"thread_name", "thread_name", "a", "b", "c1"}
+	if len(evs) != len(wantNames) {
+		t.Fatalf("got %d events, want %d", len(evs), len(wantNames))
+	}
+	for i, ev := range evs {
+		if ev.Name != wantNames[i] {
+			t.Errorf("event %d = %q, want %q", i, ev.Name, wantNames[i])
+		}
+	}
+	if evs[0].TID != 0 || evs[1].TID != 1 {
+		t.Errorf("metadata events out of tid order: %+v", evs[:2])
+	}
+}
+
+// TestTraceJSONRoundTrip checks the satellite requirement directly: the
+// Chrome-trace JSON round-trips through encoding/json.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(0, "main")
+	tr.Start("phase", "steensgaard", 0).Arg("vars", 12).End()
+	tr.Start("cluster", "cluster", 3).Arg("cluster", 7).Arg("outcome", "solved").End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Trace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	re, err := json.MarshalIndent(decoded, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimSpace(string(re)), strings.TrimSpace(buf.String()); got != want {
+		t.Errorf("re-encoded trace differs:\n%s\nwant:\n%s", got, want)
+	}
+	if len(decoded.TraceEvents) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(decoded.TraceEvents))
+	}
+	ph := decoded.TraceEvents[1]
+	if ph.Ph != "X" || ph.Name != "steensgaard" || ph.Cat != "phase" {
+		t.Errorf("phase span decoded wrong: %+v", ph)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("bootstrap_fscs_tuples_total", "worklist tuples charged")
+	c.Add(41)
+	c.Inc()
+	m.Gauge("bootstrap_cache_entries", "in-memory entries").Set(3)
+	m.CounterFunc("bootstrap_cache_hits_total", "", func() int64 { return 9 })
+	h := m.Histogram("bootstrap_cluster_solve_seconds", "per-cluster solve", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE bootstrap_fscs_tuples_total counter",
+		"bootstrap_fscs_tuples_total 42",
+		"bootstrap_cache_entries 3",
+		"bootstrap_cache_hits_total 9",
+		"# TYPE bootstrap_cluster_solve_seconds histogram",
+		`bootstrap_cluster_solve_seconds_bucket{le="0.1"} 1`,
+		`bootstrap_cluster_solve_seconds_bucket{le="1"} 2`,
+		`bootstrap_cluster_solve_seconds_bucket{le="+Inf"} 3`,
+		"bootstrap_cluster_solve_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same instrument on re-registration; wrong type panics.
+	if m.Counter("bootstrap_fscs_tuples_total", "").Value() != 42 {
+		t.Error("re-registration did not return the existing counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering a counter as a gauge should panic")
+			}
+		}()
+		m.Gauge("bootstrap_fscs_tuples_total", "")
+	}()
+}
+
+func TestMetricsHandlerAndExpvar(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("demotions_total", "").Add(2)
+	m.Histogram("sizes", "", []float64{1}).Observe(7)
+
+	rr := httptest.NewRecorder()
+	m.ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "demotions_total 2") {
+		t.Errorf("/metrics = %d %q", rr.Code, rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	m.ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rr.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", rr.Code)
+	}
+
+	// PublishExpvar twice must not panic (expvar forbids duplicates).
+	m.PublishExpvar("test_")
+	m.PublishExpvar("test_")
+	rr = httptest.NewRecorder()
+	m.ServeMux().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+	if !strings.Contains(rr.Body.String(), `"test_demotions_total": 2`) {
+		t.Errorf("/debug/vars missing published counter: %s", rr.Body.String())
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" (boundary is inclusive)
+	h.Observe(2)
+	h.Observe(3)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`h_bucket{le="1"} 1`, `h_bucket{le="2"} 2`, `h_bucket{le="+Inf"} 3`, "h_sum 6"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	if TracerFrom(context.Background()) != nil {
+		t.Error("TracerFrom on a bare context should be nil")
+	}
+	if TracerFrom(nil) != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Error("TracerFrom(nil) should be nil")
+	}
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Error("tracer not threaded through context")
+	}
+	if got := WorkerFrom(ctx); got != 0 {
+		t.Errorf("default worker = %d, want 0", got)
+	}
+	if got := WorkerFrom(ContextWithWorker(ctx, 3)); got != 3 {
+		t.Errorf("worker = %d, want 3", got)
+	}
+	if ContextWithTracer(ctx, nil) != ctx {
+		t.Error("nil tracer should leave ctx unchanged")
+	}
+}
+
+func TestEventsSnapshotIsolated(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("p", "a", 0).End()
+	evs1 := tr.Events()
+	tr.Start("p", "b", 0).End()
+	evs2 := tr.Events()
+	if len(evs1) != 1 || len(evs2) != 2 {
+		t.Fatalf("snapshots = %d, %d events; want 1, 2", len(evs1), len(evs2))
+	}
+	if !reflect.DeepEqual(evs1[0], evs2[0]) {
+		t.Error("earlier snapshot mutated by later recording")
+	}
+}

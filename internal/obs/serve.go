@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeMux returns the debug mux the -metrics-addr flag serves:
+//
+//	/metrics      Prometheus text exposition of this registry
+//	/debug/vars   expvar JSON (everything published via PublishExpvar)
+//	/debug/pprof  the standard runtime profiles
+//
+// The pprof handlers are mounted explicitly instead of importing
+// net/http/pprof for its DefaultServeMux side effect, so embedding this
+// code never exposes profiles on a mux the caller didn't ask for.
+func (m *Metrics) ServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		// Publish-on-scrape: metrics register lazily during the run, so
+		// sync the expvar view before serving it (idempotent per name).
+		m.PublishExpvar("")
+		expvar.Handler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"bootstrap/internal/ir"
+	"bootstrap/internal/obs"
 	"bootstrap/internal/uf"
 )
 
@@ -59,6 +60,8 @@ type Analysis struct {
 	partOrder []int   // partition ids sorted
 	ptClass   []int32 // var -> content-class rep (frozen for concurrent reads)
 	locClass  []int32 // var -> location-class rep (frozen for concurrent reads)
+
+	unions int // ECR unifications performed (the analysis' unit of work)
 }
 
 // Analyze runs the analysis over every statement of p.
@@ -152,6 +155,7 @@ func (a *Analysis) join(e1, e2 int) {
 		s1, s2 := a.sig[r1], a.sig[r2]
 		delete(a.sig, r1)
 		delete(a.sig, r2)
+		a.unions++
 		r := a.forest.Union(r1, r2)
 		switch {
 		case t1 == -1:
@@ -489,3 +493,27 @@ func (a *Analysis) MaxPartitionSize() int {
 
 // NumPartitions returns the number of partitions.
 func (a *Analysis) NumPartitions() int { return len(a.members) }
+
+// Stats reports the unification work done and the shape of the result.
+type Stats struct {
+	Unions       int // ECR unifications performed
+	Partitions   int
+	MaxPartition int
+}
+
+// Stats returns the analysis' work and shape counters.
+func (a *Analysis) Stats() Stats {
+	return Stats{Unions: a.unions, Partitions: a.NumPartitions(), MaxPartition: a.MaxPartitionSize()}
+}
+
+// Record publishes the stats to a metrics registry (nil-safe no-op
+// without one): unions as a counter, the cover shape as gauges.
+func (a *Analysis) Record(m *obs.Metrics) {
+	s := a.Stats()
+	m.Counter("bootstrap_steens_unions_total",
+		"ECR unifications performed by the Steensgaard stage").Add(int64(s.Unions))
+	m.Gauge("bootstrap_steens_partitions",
+		"Steensgaard partitions in the latest analyzed program").Set(float64(s.Partitions))
+	m.Gauge("bootstrap_steens_max_partition",
+		"largest Steensgaard partition in the latest analyzed program").Set(float64(s.MaxPartition))
+}
