@@ -12,7 +12,14 @@ BENCH_ROWS    = sock,ctrace,autofs,raid,mt_daapd
 BENCH_SCALE   = 0.12
 BENCHTAB_ARGS = -rows $(BENCH_ROWS) -scale $(BENCH_SCALE) -cache-dir .benchcache
 
-.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline
+# The serve bench boots a chaos-enabled aliasd on a synthetic workload
+# and drives it with aliasload (cold, warm, then chaos: 20% injected
+# faults + a live reload mid-burst). -assert fails on any 5xx, counter
+# drift, or a warm-phase shed.
+SERVE_ADDR  = 127.0.0.1:7411
+SERVE_BENCH = sock
+
+.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench
 
 all: check
 
@@ -62,3 +69,18 @@ bench:
 # the performance shape on purpose.
 bench-baseline: bench
 	mv BENCH_fresh.json BENCH_fscs.json
+
+# serve-bench measures (and refreshes) BENCH_serve.json: boot the
+# daemon in the background, let aliasload wait for /readyz, run the
+# three phases, then drain the daemon with SIGTERM. The daemon's exit
+# status is checked too — a crash under chaos fails the target even if
+# the driver's invariants all passed.
+serve-bench:
+	$(GO) build -o .bin/aliasd ./cmd/aliasd
+	$(GO) build -o .bin/aliasload ./cmd/aliasload
+	@./.bin/aliasd -addr $(SERVE_ADDR) -synth $(SERVE_BENCH) -synth-scale $(BENCH_SCALE) -chaos & \
+	pid=$$!; status=0; \
+	./.bin/aliasload -addr $(SERVE_ADDR) -phases cold,warm,chaos -assert -out BENCH_serve.json || status=$$?; \
+	kill -TERM $$pid 2>/dev/null; \
+	wait $$pid || status=$$?; \
+	exit $$status

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// resetFlags restores this command's flags (not the test framework's) to
+// their defaults between runs.
+func resetFlags() {
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		if !strings.HasPrefix(f.Name, "test.") {
+			_ = f.Value.Set(f.DefValue)
+		}
+	})
+}
+
+// boot starts the daemon on an ephemeral port and returns its base URL
+// plus a stop function that triggers the graceful drain and waits for
+// run to return.
+func boot(t *testing.T, path string) (base string, stopAndWait func() error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	onListen = func(a net.Addr) { addrCh <- a.String() }
+	t.Cleanup(func() { onListen = nil })
+	if err := flag.Set("addr", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(path, stop) }()
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-errCh:
+		t.Fatalf("daemon exited during boot: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	return base, func() error {
+		close(stop)
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(30 * time.Second):
+			return nil // leak the goroutine rather than hang the test
+		}
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDaemonSmokeOnDriver(t *testing.T) {
+	resetFlags()
+	base, stop := boot(t, "../../testdata/driver.cpl")
+	waitReady(t, base)
+
+	body := bytes.NewReader([]byte(`{"p":"dev.state","q":"dev.owner"}`))
+	resp, err := http.Post(base+"/v1/mayalias", "application/json", body)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var qr struct {
+		MayAlias *bool `json:"may_alias"`
+		Snapshot int64 `json:"snapshot"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qr.MayAlias == nil || qr.Snapshot != 1 {
+		t.Fatalf("bad query response: %+v", qr)
+	}
+
+	// /reload without a body source re-reads the program file.
+	resp, err = http.Post(base+"/reload", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDaemonSmokeOnSynth(t *testing.T) {
+	resetFlags()
+	for k, v := range map[string]string{
+		"synth":       "sock",
+		"synth-scale": "0.05",
+		"chaos":       "true",
+	} {
+		if err := flag.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, stop := boot(t, "")
+	waitReady(t, base)
+
+	var vars struct {
+		Pointers []string `json:"pointers"`
+	}
+	resp, err := http.Get(base + "/v1/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(vars.Pointers) < 2 {
+		t.Fatalf("synth workload exposes %d pointers", len(vars.Pointers))
+	}
+	body := []byte(`{"p":"` + vars.Pointers[0] + `","q":"` + vars.Pointers[1] + `"}`)
+	resp, err = http.Post(base+"/v1/mayalias", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synth query status %d", resp.StatusCode)
+	}
+
+	// Synth regeneration with a variant: the reload must succeed and
+	// bump the snapshot.
+	resp, err = http.Post(base+"/reload", "application/json", strings.NewReader(`{"variant":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr struct {
+		Snapshot int64 `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Snapshot != 2 {
+		t.Fatalf("variant reload: status %d snapshot %d", resp.StatusCode, rr.Snapshot)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestVariantSource(t *testing.T) {
+	base := "void main() { }\n"
+	if got := variantSource(base, 0); got != base {
+		t.Errorf("variant 0 changed the source")
+	}
+	v1, v2 := variantSource(base, 1), variantSource(base, 2)
+	if v1 == base || v1 == v2 {
+		t.Errorf("variants not distinct")
+	}
+}

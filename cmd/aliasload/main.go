@@ -1,0 +1,447 @@
+// Command aliasload drives an aliasd daemon with concurrent clients and
+// reports latency/robustness statistics — the serving counterpart of
+// benchtab. It runs up to three phases against one daemon:
+//
+//	cold   first-touch queries: clusters solve on demand, latency
+//	       includes solves, shedding is allowed
+//	warm   the same query set again: everything answers from solved
+//	       engines; p99 here is the daemon's steady-state latency
+//	chaos  fault injection armed (latency spikes + solve faults) and a
+//	       live /reload fired mid-burst; every query must still come
+//	       back 200-or-429, never 5xx, never past its deadline
+//
+// The report (BENCH_serve.json) carries per-phase p50/p90/p99/max, shed
+// and degraded rates, and -assert turns invariant violations (any 5xx,
+// any transport error, client/daemon counter drift) into a non-zero
+// exit — the CI smoke gate.
+//
+// Usage:
+//
+//	aliasload -addr 127.0.0.1:7411 -clients 8 -n 50 \
+//	          -phases cold,warm,chaos -out BENCH_serve.json -assert
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:7411", "aliasd address (host:port)")
+	clients    = flag.Int("clients", 8, "concurrent client goroutines")
+	perClient  = flag.Int("n", 50, "queries per client per phase")
+	phasesFlag = flag.String("phases", "cold,warm", "comma-separated phases to run: cold,warm,chaos")
+	seed       = flag.Int64("seed", 1, "workload RNG seed (same seed = same query stream)")
+	wait       = flag.Duration("wait", 30*time.Second, "how long to poll /readyz before giving up")
+	out        = flag.String("out", "", "write the JSON report here (default stdout)")
+	assert     = flag.Bool("assert", false, "exit non-zero when a robustness invariant fails (5xx, transport errors, counter drift)")
+	warmP99Max = flag.Duration("warm-p99-max", 0, "with -assert: fail when the warm phase's p99 exceeds this (0 = no bound)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aliasload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the emitted BENCH_serve.json.
+type Report struct {
+	Workload  string        `json:"workload"`
+	Addr      string        `json:"addr"`
+	Clients   int           `json:"clients"`
+	PerClient int           `json:"queries_per_client"`
+	Seed      int64         `json:"seed"`
+	Phases    []PhaseReport `json:"phases"`
+}
+
+// PhaseReport aggregates one phase. Queries = OK + Degraded + Shed +
+// Err4xx + Err5xx + NetErrors, always.
+type PhaseReport struct {
+	Name      string  `json:"name"`
+	Queries   int     `json:"queries"`
+	OK        int     `json:"ok"`       // 200, full precision
+	Degraded  int     `json:"degraded"` // 200, fallback precision
+	Shed      int     `json:"shed"`     // 429
+	Err4xx    int     `json:"err_4xx"`  // other 4xx (client bugs)
+	Err5xx    int     `json:"err_5xx"`  // must stay 0
+	NetErrors int     `json:"net_errors"`
+	Reloads   int     `json:"reloads,omitempty"` // live reloads fired (chaos)
+	P50US     int64   `json:"p50_us"`
+	P90US     int64   `json:"p90_us"`
+	P99US     int64   `json:"p99_us"`
+	MaxUS     int64   `json:"max_us"`
+	QPS       float64 `json:"qps"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+}
+
+// newRand builds the deterministic workload RNG.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// query is one prebuilt request; the warm phase replays the cold set.
+type query struct {
+	path string
+	body []byte
+}
+
+type result struct {
+	status   int
+	degraded bool
+	elapsed  time.Duration
+	netErr   bool
+}
+
+func run() error {
+	base := "http://" + *addr
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	if err := waitReady(hc, base); err != nil {
+		return err
+	}
+	var vars struct {
+		Pointers   []string   `json:"pointers"`
+		Partitions [][]string `json:"partitions"`
+	}
+	if err := getJSON(hc, base+"/v1/vars", &vars); err != nil {
+		return fmt.Errorf("fetch vars: %w", err)
+	}
+	if len(vars.Pointers) < 2 {
+		return fmt.Errorf("daemon reports %d covered pointers; nothing to query", len(vars.Pointers))
+	}
+	var info struct {
+		Desc        string `json:"desc"`
+		QueryTimeMS int64  `json:"query_timeout_ms"`
+	}
+	if err := getJSON(hc, base+"/v1/info", &info); err != nil {
+		return fmt.Errorf("fetch info: %w", err)
+	}
+
+	// Deterministic per-client query streams. Mixing same-partition
+	// pairs (can alias) with random pairs (mostly cannot) exercises both
+	// the early-exit and the full-scan paths.
+	rng := newRand(*seed)
+	streams := make([][]query, *clients)
+	for c := range streams {
+		streams[c] = buildStream(rng, vars.Pointers, vars.Partitions, *perClient)
+	}
+
+	rep := &Report{
+		Workload:  info.Desc,
+		Addr:      *addr,
+		Clients:   *clients,
+		PerClient: *perClient,
+		Seed:      *seed,
+	}
+	var failures []string
+	for _, phase := range strings.Split(*phasesFlag, ",") {
+		phase = strings.TrimSpace(phase)
+		if phase == "" {
+			continue
+		}
+		before, err := scrapeCounters(hc, base)
+		if err != nil {
+			return fmt.Errorf("scrape metrics: %w", err)
+		}
+		var pr PhaseReport
+		switch phase {
+		case "cold", "warm":
+			pr = runPhase(phase, hc, base, streams, nil)
+		case "chaos":
+			pr = runChaos(hc, base, streams, rng)
+		default:
+			return fmt.Errorf("unknown phase %q", phase)
+		}
+		after, err := scrapeCounters(hc, base)
+		if err != nil {
+			return fmt.Errorf("scrape metrics: %w", err)
+		}
+		failures = append(failures, checkPhase(pr, before, after)...)
+		rep.Phases = append(rep.Phases, pr)
+	}
+
+	if *warmP99Max > 0 {
+		for _, pr := range rep.Phases {
+			if pr.Name == "warm" && pr.P99US > warmP99Max.Microseconds() {
+				failures = append(failures,
+					fmt.Sprintf("warm p99 %dus exceeds bound %v", pr.P99US, *warmP99Max))
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("aliasload: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(blob)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "aliasload: INVARIANT:", f)
+	}
+	if *assert && len(failures) > 0 {
+		return fmt.Errorf("%d robustness invariant(s) violated", len(failures))
+	}
+	return nil
+}
+
+// buildStream generates one client's deterministic query list.
+func buildStream(rng *rand.Rand, pointers []string, partitions [][]string, n int) []query {
+	qs := make([]query, 0, n)
+	pick := func() string { return pointers[rng.Intn(len(pointers))] }
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Intn(10) < 3: // 30% points-to
+			body, _ := json.Marshal(map[string]any{"p": pick()})
+			qs = append(qs, query{path: "/v1/pointsto", body: body})
+		case len(partitions) > 0 && rng.Intn(2) == 0: // same-partition pair
+			g := partitions[rng.Intn(len(partitions))]
+			p, q := g[rng.Intn(len(g))], g[rng.Intn(len(g))]
+			body, _ := json.Marshal(map[string]any{"p": p, "q": q})
+			qs = append(qs, query{path: "/v1/mayalias", body: body})
+		default: // random pair
+			body, _ := json.Marshal(map[string]any{"p": pick(), "q": pick()})
+			qs = append(qs, query{path: "/v1/mayalias", body: body})
+		}
+	}
+	return qs
+}
+
+// runPhase fires every client's stream concurrently and aggregates.
+// extra, when non-nil, runs concurrently with the burst (the chaos
+// phase's live reload).
+func runPhase(name string, hc *http.Client, base string, streams [][]query, extra func()) PhaseReport {
+	results := make([][]result, len(streams))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := range streams {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rs := make([]result, 0, len(streams[c]))
+			for _, q := range streams[c] {
+				rs = append(rs, fire(hc, base, q))
+			}
+			results[c] = rs
+		}(c)
+	}
+	if extra != nil {
+		extra()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pr := PhaseReport{Name: name, ElapsedMS: elapsed.Milliseconds()}
+	var lats []time.Duration
+	for _, rs := range results {
+		for _, r := range rs {
+			pr.Queries++
+			switch {
+			case r.netErr:
+				pr.NetErrors++
+			case r.status == http.StatusOK && r.degraded:
+				pr.Degraded++
+			case r.status == http.StatusOK:
+				pr.OK++
+			case r.status == http.StatusTooManyRequests:
+				pr.Shed++
+			case r.status >= 500:
+				pr.Err5xx++
+			default:
+				pr.Err4xx++
+			}
+			if !r.netErr {
+				lats = append(lats, r.elapsed)
+			}
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) int64 {
+			i := int(p * float64(len(lats)-1))
+			return lats[i].Microseconds()
+		}
+		pr.P50US, pr.P90US, pr.P99US = pct(0.50), pct(0.90), pct(0.99)
+		pr.MaxUS = lats[len(lats)-1].Microseconds()
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		pr.QPS = float64(pr.Queries) / secs
+	}
+	return pr
+}
+
+// runChaos arms fault injection (20% of queries spike, 20% of solve
+// attempts fault), fires a live reload mid-burst, runs the burst, then
+// disarms.
+func runChaos(hc *http.Client, base string, streams [][]query, rng *rand.Rand) PhaseReport {
+	arm := map[string]any{
+		"latency_every":     5,
+		"latency_ms":        100,
+		"solve_fault_every": 5,
+		"solve_fault_kind":  "budget",
+		"reload_pause_ms":   50,
+	}
+	_ = postJSON(hc, base+"/chaos", arm, nil)
+	reloads := 0
+	pr := runPhase("chaos", hc, base, streams, func() {
+		// Mid-burst: swap the program under live traffic. variant 1
+		// regenerates the workload with extra salt, so the swap is real.
+		time.Sleep(50 * time.Millisecond)
+		var rr struct {
+			Snapshot int64 `json:"snapshot"`
+		}
+		if err := postJSON(hc, base+"/reload", map[string]any{"variant": rng.Intn(1000) + 1}, &rr); err == nil && rr.Snapshot > 0 {
+			reloads++
+		}
+	})
+	pr.Reloads = reloads
+	_ = postJSON(hc, base+"/chaos", map[string]any{}, nil) // disarm
+	return pr
+}
+
+// fire sends one query.
+func fire(hc *http.Client, base string, q query) result {
+	start := time.Now()
+	resp, err := hc.Post(base+q.path, "application/json", bytes.NewReader(q.body))
+	if err != nil {
+		return result{netErr: true, elapsed: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Degraded bool `json:"degraded"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return result{status: resp.StatusCode, degraded: body.Degraded, elapsed: time.Since(start)}
+}
+
+// counters is the subset of daemon metrics the invariants check.
+type counters struct {
+	queries, degraded, shed int64
+}
+
+// scrapeCounters parses the Prometheus text endpoint.
+func scrapeCounters(hc *http.Client, base string) (counters, error) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return counters{}, err
+	}
+	defer resp.Body.Close()
+	var c counters
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "aliasd_queries_total":
+			c.queries = int64(v)
+		case "aliasd_degraded_total":
+			c.degraded = int64(v)
+		case "aliasd_shed_total":
+			c.shed = int64(v)
+		}
+	}
+	return c, sc.Err()
+}
+
+// checkPhase verifies the robustness invariants for one phase, assuming
+// this process is the daemon's only client (true in the smoke harness).
+func checkPhase(pr PhaseReport, before, after counters) []string {
+	var bad []string
+	if pr.Err5xx > 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d 5xx responses", pr.Name, pr.Err5xx))
+	}
+	if pr.NetErrors > 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d transport errors", pr.Name, pr.NetErrors))
+	}
+	if pr.Err4xx > 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d unexpected 4xx responses", pr.Name, pr.Err4xx))
+	}
+	if got := pr.OK + pr.Degraded + pr.Shed + pr.Err4xx + pr.Err5xx + pr.NetErrors; got != pr.Queries {
+		bad = append(bad, fmt.Sprintf("%s: outcome counts sum to %d, queries %d", pr.Name, got, pr.Queries))
+	}
+	if d := after.shed - before.shed; d != int64(pr.Shed) {
+		bad = append(bad, fmt.Sprintf("%s: daemon shed delta %d, client saw %d", pr.Name, d, pr.Shed))
+	}
+	if d := after.degraded - before.degraded; d != int64(pr.Degraded) {
+		bad = append(bad, fmt.Sprintf("%s: daemon degraded delta %d, client saw %d", pr.Name, d, pr.Degraded))
+	}
+	if d := after.queries - before.queries; d != int64(pr.OK+pr.Degraded) {
+		bad = append(bad, fmt.Sprintf("%s: daemon served delta %d, client completed %d", pr.Name, d, pr.OK+pr.Degraded))
+	}
+	return bad
+}
+
+func waitReady(hc *http.Client, base string) error {
+	deadline := time.Now().Add(*wait)
+	for {
+		resp, err := hc.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not ready after %v", *addr, *wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func getJSON(hc *http.Client, url string, v any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func postJSON(hc *http.Client, url string, body any, v any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bootstrap/internal/core"
+	"bootstrap/internal/obs"
+	"bootstrap/internal/serve"
+	"bootstrap/internal/synth"
+)
+
+func resetFlags() {
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		if !strings.HasPrefix(f.Name, "test.") {
+			_ = f.Value.Set(f.DefValue)
+		}
+	})
+}
+
+// startDaemon boots an in-process aliasd-equivalent on an ephemeral port.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	b, ok := synth.FindBenchmark("sock")
+	if !ok {
+		t.Fatal("no sock benchmark")
+	}
+	src := synth.Generate(b, 0.05)
+	s := serve.New(serve.Config{
+		Analysis: core.Config{
+			Mode:              core.ModeAndersen,
+			Workers:           2,
+			AndersenThreshold: 2,
+		},
+		QueryTimeout: time.Second,
+		AllowChaos:   true,
+		Metrics:      obs.NewMetrics(),
+		Regen: func(variant int) (string, string, error) {
+			salt := fmt.Sprintf("\nint lv_obj_%d;\nint *lv_ptr_%d;\nvoid lv_f_%d() { lv_ptr_%d = &lv_obj_%d; }\n",
+				variant, variant, variant, variant, variant)
+			return fmt.Sprintf("synth:sock+v%d", variant), src + salt, nil
+		},
+	})
+	if _, err := s.Load(context.Background(), "synth:sock", src); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestLoadDriverAllPhases(t *testing.T) {
+	ts := startDaemon(t)
+	outPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	resetFlags()
+	for k, v := range map[string]string{
+		"addr":    strings.TrimPrefix(ts.URL, "http://"),
+		"clients": "4",
+		"n":       "25",
+		"phases":  "cold,warm,chaos",
+		"out":     outPath,
+		"assert":  "true",
+	} {
+		if err := flag.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(); err != nil {
+		t.Fatalf("aliasload run: %v", err)
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("bad report %s: %v", blob, err)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(rep.Phases))
+	}
+	for i, name := range []string{"cold", "warm", "chaos"} {
+		pr := rep.Phases[i]
+		if pr.Name != name {
+			t.Errorf("phase %d = %q, want %q", i, pr.Name, name)
+		}
+		if pr.Queries != 4*25 {
+			t.Errorf("%s: %d queries, want 100", name, pr.Queries)
+		}
+		if pr.Err5xx != 0 || pr.NetErrors != 0 {
+			t.Errorf("%s: %d 5xx, %d net errors", name, pr.Err5xx, pr.NetErrors)
+		}
+	}
+	warm := rep.Phases[1]
+	if warm.Shed != 0 {
+		t.Errorf("warm phase shed %d queries; warm queries must bypass admission", warm.Shed)
+	}
+	chaos := rep.Phases[2]
+	if chaos.Reloads == 0 {
+		t.Errorf("chaos phase fired no live reload")
+	}
+}
+
+func TestBuildStreamDeterministic(t *testing.T) {
+	ptrs := []string{"a", "b", "c", "d"}
+	parts := [][]string{{"a", "b"}, {"c", "d"}}
+	s1 := buildStream(newRand(7), ptrs, parts, 20)
+	s2 := buildStream(newRand(7), ptrs, parts, 20)
+	if len(s1) != 20 || len(s2) != 20 {
+		t.Fatalf("stream lengths %d, %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].path != s2[i].path || string(s1[i].body) != string(s2[i].body) {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}

@@ -213,15 +213,27 @@ func (c *Cache) path(k Key) string {
 	return filepath.Join(c.opts.Dir, k.String()+".bsc")
 }
 
-// readDisk loads and validates one disk entry. Any problem — missing
-// file, short read, wrong magic/version/key, length or checksum
-// mismatch — is reported as absence.
-func (c *Cache) readDisk(k Key) ([]byte, bool) {
-	if c.opts.Dir == "" {
-		return nil, false
-	}
-	raw, err := os.ReadFile(c.path(k))
-	if err != nil || len(raw) < headerSize {
+// encodeEntry builds the on-disk envelope around one payload: magic,
+// version, key echo, payload length, payload checksum, payload. The
+// envelope is the unit FuzzDecodeEntry exercises.
+func encodeEntry(k Key, data []byte) []byte {
+	buf := make([]byte, 0, headerSize+len(data))
+	buf = append(buf, diskMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = append(buf, k[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(data))
+	buf = append(buf, data...)
+	return buf
+}
+
+// decodeEntry validates one on-disk envelope against the key it was
+// looked up under and returns the payload. Any defect — short input,
+// wrong magic/version/key echo, length or checksum mismatch — is
+// reported as absence, never a panic: disk corruption must read as a
+// cache miss.
+func decodeEntry(k Key, raw []byte) ([]byte, bool) {
+	if len(raw) < headerSize {
 		return nil, false
 	}
 	off := 0
@@ -250,6 +262,20 @@ func (c *Cache) readDisk(k Key) ([]byte, bool) {
 	return payload, true
 }
 
+// readDisk loads and validates one disk entry. Any problem — missing
+// file, short read, wrong magic/version/key, length or checksum
+// mismatch — is reported as absence.
+func (c *Cache) readDisk(k Key) ([]byte, bool) {
+	if c.opts.Dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return nil, false
+	}
+	return decodeEntry(k, raw)
+}
+
 // writeDisk stores one disk entry atomically (temp file + rename) so a
 // crash never leaves a half-written entry under the final name. Errors
 // are swallowed: the disk tier is an optimization, not a requirement.
@@ -260,13 +286,7 @@ func (c *Cache) writeDisk(k Key, data []byte) {
 	if err := os.MkdirAll(c.opts.Dir, 0o755); err != nil {
 		return
 	}
-	buf := make([]byte, 0, headerSize+len(data))
-	buf = append(buf, diskMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, Version)
-	buf = append(buf, k[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(data))
-	buf = append(buf, data...)
+	buf := encodeEntry(k, data)
 	tmp, err := os.CreateTemp(c.opts.Dir, "put-*")
 	if err != nil {
 		return

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzKey is the fixed lookup key every fuzz decode runs under; the key
+// echo in the envelope must match it for a decode to succeed.
+var fuzzKey = Key(sha256.Sum256([]byte("fuzz")))
+
+// FuzzDecodeEntry throws arbitrary bytes at the disk-entry decoder. Two
+// properties must hold for every input: the decoder never panics (disk
+// corruption is a miss, not a crash), and any accepted payload
+// re-encodes to exactly the input bytes (accept only what encodeEntry
+// could have produced).
+func FuzzDecodeEntry(f *testing.F) {
+	// A valid entry, and one for each field of the envelope: truncations
+	// at every header boundary, flipped magic, wrong version, wrong key
+	// echo, inconsistent length, bad checksum, trailing garbage.
+	valid := encodeEntry(fuzzKey, []byte("payload bytes"))
+	f.Add(valid)
+	f.Add(encodeEntry(fuzzKey, nil))
+	f.Add([]byte{})
+	for _, cut := range []int{1, len(diskMagic), len(diskMagic) + 4,
+		len(diskMagic) + 4 + len(Key{}), headerSize - 1, headerSize, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	flip := func(i int) []byte {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0xff
+		return c
+	}
+	f.Add(flip(0))                               // magic
+	f.Add(flip(len(diskMagic)))                  // version
+	f.Add(flip(len(diskMagic) + 4))              // key echo
+	f.Add(flip(len(diskMagic) + 4 + len(Key{}))) // length
+	f.Add(flip(headerSize - 1))                  // checksum
+	f.Add(flip(len(valid) - 1))                  // payload
+	f.Add(append(append([]byte(nil), valid...), 0xcc))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		payload, ok := decodeEntry(fuzzKey, raw)
+		if !ok {
+			return
+		}
+		if got := encodeEntry(fuzzKey, payload); !bytes.Equal(got, raw) {
+			t.Fatalf("accepted envelope does not round-trip:\n raw    %x\nencode %x", raw, got)
+		}
+	})
+}
+
+// TestEncodeDecodeEntryRoundTrip pins the envelope layout byte by byte
+// so a format change cannot slip through as a silent cache flush.
+func TestEncodeDecodeEntryRoundTrip(t *testing.T) {
+	data := []byte("cluster result")
+	raw := encodeEntry(fuzzKey, data)
+	if len(raw) != headerSize+len(data) {
+		t.Fatalf("envelope is %d bytes, want %d", len(raw), headerSize+len(data))
+	}
+	if string(raw[:len(diskMagic)]) != diskMagic {
+		t.Errorf("magic = %q", raw[:len(diskMagic)])
+	}
+	if v := binary.LittleEndian.Uint32(raw[len(diskMagic):]); v != Version {
+		t.Errorf("version = %d, want %d", v, Version)
+	}
+	got, ok := decodeEntry(fuzzKey, raw)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("decodeEntry = (%q, %v), want (%q, true)", got, ok, data)
+	}
+	// The same bytes under a different key are a miss: entries are bound
+	// to the key they were stored under.
+	other := Key(sha256.Sum256([]byte("other")))
+	if _, ok := decodeEntry(other, raw); ok {
+		t.Errorf("entry decoded under the wrong key")
+	}
+}

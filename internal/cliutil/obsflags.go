@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	rpprof "runtime/pprof"
+	"time"
 
 	"bootstrap/internal/obs"
 )
@@ -39,6 +41,7 @@ type Session struct {
 	profile   string
 	cpuFile   *os.File
 	ln        net.Listener
+	srv       *http.Server
 }
 
 // mutexProfileFraction samples 1/5 of mutex contention events — dense
@@ -69,8 +72,8 @@ func (f *ObsFlags) Start() (*Session, error) {
 			return nil, fmt.Errorf("metrics-addr: %w", err)
 		}
 		s.ln = ln
-		srv := &http.Server{Handler: s.Metrics.ServeMux()}
-		go srv.Serve(ln) //nolint:errcheck // dies with the process
+		s.srv = &http.Server{Handler: s.Metrics.ServeMux()}
+		go s.srv.Serve(ln) //nolint:errcheck // ends via Close's Shutdown
 	}
 	switch f.Profile {
 	case "":
@@ -142,7 +145,23 @@ func (s *Session) Close() error {
 	return first
 }
 
+// shutdownTimeout bounds how long Close waits for in-flight metrics
+// scrapes (a scrape is quick; a stuck client should not wedge exit).
+const shutdownTimeout = 2 * time.Second
+
 func (s *Session) shutdown() {
+	if s.srv != nil {
+		// Graceful: stop accepting, let in-flight /metrics and pprof
+		// requests finish, then close whatever remains. Shutdown also
+		// closes the listener.
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		s.srv.Shutdown(ctx) //nolint:errcheck // best-effort at exit
+		cancel()
+		s.srv.Close()
+		s.srv = nil
+		s.ln = nil
+		return
+	}
 	if s.ln != nil {
 		s.ln.Close()
 		s.ln = nil

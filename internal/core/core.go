@@ -86,8 +86,11 @@ type Config struct {
 	Retries int
 	// Faults injects deterministic faults into chosen clusters — the
 	// testing/chaos hook for the fault-tolerance layer. Nil injects
-	// nothing. Faults apply only to the eager scheduler, not to engines
-	// created lazily at query time.
+	// nothing. Faults apply to the eager scheduler and to query-time
+	// solves (EnsureCluster); engines created implicitly by the classic
+	// query methods in Lazy mode are not covered. While the plan has any
+	// armed fault (Plan.Active), the result cache is bypassed: injected
+	// behavior is attempt-local by design.
 	Faults *faults.Plan
 	// MaxCond bounds constraint conjunctions (default 8).
 	MaxCond int
@@ -194,6 +197,11 @@ type Analysis struct {
 	engines   map[int]*fscs.Engine
 	selected  map[int]*cluster.Cluster // clusters eligible for engines (lazy mode)
 	byPointer map[ir.VarID][]int       // pointer -> cluster ids containing it
+
+	// Query-time solve state (see query.go): in-flight single-flight
+	// solves and the health of clusters solved on first touch.
+	solving     map[int]*inflight
+	queryHealth map[int]ClusterHealth
 }
 
 // AnalyzeSource parses, lowers and analyzes CPL source text.
@@ -248,11 +256,13 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	}
 
 	a := &Analysis{
-		Prog:      prog,
-		cfg:       cfg,
-		engines:   map[int]*fscs.Engine{},
-		selected:  map[int]*cluster.Cluster{},
-		byPointer: map[ir.VarID][]int{},
+		Prog:        prog,
+		cfg:         cfg,
+		engines:     map[int]*fscs.Engine{},
+		selected:    map[int]*cluster.Cluster{},
+		byPointer:   map[ir.VarID][]int{},
+		solving:     map[int]*inflight{},
+		queryHealth: map[int]ClusterHealth{},
 	}
 	var cacheBefore cache.Stats
 	if cfg.Cache != nil {

@@ -192,10 +192,12 @@ func runLadder(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *s
 	// Consult the result cache before paying for a solve. The fingerprint
 	// covers everything the engine's result can depend on (slice, reachable
 	// CFG skeletons, Steensgaard structure, precision knobs), so a hit
-	// imports the stored summaries and value sets directly. Fault injection
-	// bypasses the cache: injected behavior is attempt-local by design.
+	// imports the stored summaries and value sets directly. Armed fault
+	// injection bypasses the cache: injected behavior is attempt-local by
+	// design. A plan with nothing armed (a live server whose chaos mode is
+	// off) leaves caching on.
 	var cn *cache.Canon
-	useCache := cfg.Cache != nil && cfg.Faults == nil
+	useCache := cfg.Cache != nil && !cfg.Faults.Active()
 	if useCache {
 		psp := tr.Start("cache", "cache.probe", tid).Arg("cluster", c.ID)
 		cn = cache.NewCanon(prog, sa, cg, c, cache.Params{MaxCond: maxCond, Budget: budget})
@@ -260,6 +262,11 @@ func runLadder(ctx context.Context, prog *ir.Program, cg *callgraph.Graph, sa *s
 		}
 		h.Attempts = attempt + 1
 		if err == nil {
+			// The solve is complete: shed the attempt's context and fault
+			// hook so later query-driven computation on this engine cannot
+			// abort on the long-dead attempt deadline (or trip a fault
+			// that was injected into the solve).
+			eng.Detach()
 			h.Err = nil
 			h.Elapsed = time.Since(start)
 			switch {

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bootstrap/internal/obs"
+)
+
+func lazyConfig() Config {
+	return Config{Mode: ModeAndersen, Workers: 2, AndersenThreshold: 2, Lazy: true}
+}
+
+// TestContextQueriesMatchEager: the context-first API on a lazy analysis
+// must agree with the classic API on an eager one, pair by pair.
+func TestContextQueriesMatchEager(t *testing.T) {
+	lazy, err := AnalyzeSource(testProgram, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := AnalyzeSource(testProgram, Config{Mode: ModeAndersen, Workers: 1, AndersenThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := exitLoc(eager)
+	ctx := context.Background()
+	pairs := [][2]string{
+		{"x", "y"}, {"x", "p"}, {"y", "p"}, {"l1", "l2"}, {"x", "l1"},
+		{"a", "b"}, {"px", "x"},
+	}
+	for _, pair := range pairs {
+		p, q := v(t, lazy, pair[0]), v(t, lazy, pair[1])
+		got, precise := lazy.MayAliasContext(ctx, p, q, exit)
+		want := eager.MayAlias(v(t, eager, pair[0]), v(t, eager, pair[1]), exit)
+		if got != want {
+			t.Errorf("MayAliasContext(%s,%s) = %v, eager MayAlias = %v", pair[0], pair[1], got, want)
+		}
+		if !precise {
+			t.Errorf("MayAliasContext(%s,%s) imprecise under background context", pair[0], pair[1])
+		}
+	}
+	for _, name := range []string{"x", "y", "p", "px", "l1"} {
+		p := v(t, lazy, name)
+		got, _ := lazy.PointsToContext(ctx, p, exit)
+		want, _ := eager.PointsTo(v(t, eager, name), exit)
+		if len(got) != len(want) {
+			t.Errorf("PointsToContext(%s) = %v, eager = %v", name, got, want)
+			continue
+		}
+		for i := range got {
+			if lazy.Prog.VarName(got[i]) != eager.Prog.VarName(want[i]) {
+				t.Errorf("PointsToContext(%s)[%d] = %s, eager %s",
+					name, i, lazy.Prog.VarName(got[i]), eager.Prog.VarName(want[i]))
+			}
+		}
+	}
+}
+
+// TestEnsureClusterSingleFlight: 50 concurrent first touches of the same
+// cluster must run exactly one solve.
+func TestEnsureClusterSingleFlight(t *testing.T) {
+	m := obs.NewMetrics()
+	cfg := lazyConfig()
+	cfg.Metrics = m
+	a, err := AnalyzeSource(testProgram, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := v(t, a, "x")
+	ids := a.ClustersOf(x)
+	if len(ids) == 0 {
+		t.Fatal("x not covered by any cluster")
+	}
+	const n = 50
+	var wg sync.WaitGroup
+	engines := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, _, final := a.EnsureCluster(context.Background(), ids[0])
+			engines[i] = final && eng != nil
+		}(i)
+	}
+	wg.Wait()
+	for i, ok := range engines {
+		if !ok {
+			t.Fatalf("caller %d did not get the solved engine", i)
+		}
+	}
+	if solved := m.Counter("bootstrap_clusters_solved_total", "").Value(); solved != 1 {
+		t.Errorf("%d solves for one cluster under 50 concurrent callers", solved)
+	}
+	if !a.ClusterSolved(ids[0]) {
+		t.Errorf("ClusterSolved false after solve")
+	}
+	if qh := a.QueryHealth(); len(qh) != 1 || qh[0].ClusterID != ids[0] {
+		t.Errorf("QueryHealth = %+v, want one record for cluster %d", qh, ids[0])
+	}
+}
+
+// TestExpiredContextDegrades: an already-dead context cannot wait for a
+// solve; the answer must come from the fallback, flagged imprecise, and
+// must still be sound (a superset of the true may-alias relation).
+func TestExpiredContextDegrades(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exit := exitLoc(a)
+	x, p := v(t, a, "x"), v(t, a, "p")
+	got, precise := a.MayAliasContext(ctx, x, p, exit)
+	// x,p do alias at exit; Andersen must agree (soundness).
+	if !got {
+		t.Errorf("degraded MayAlias(x,p) = false; fallback unsound")
+	}
+	if precise {
+		// The first touch may occasionally finish before the expired
+		// context is observed (the solve is detached); in that case the
+		// full-precision answer is fine. But a degraded answer must be
+		// flagged. Only assert when the cluster is still unsolved.
+		for _, id := range a.ClustersOf(x) {
+			if !a.ClusterSolved(id) {
+				t.Errorf("precise=true while cluster %d still unsolved", id)
+			}
+		}
+	}
+	// The detached solve keeps going: the cluster must land solved and a
+	// later query must be precise.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		all := true
+		for _, id := range a.ClustersOf(x) {
+			if !a.ClusterSolved(id) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached solve never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, precise = a.MayAliasContext(context.Background(), x, p, exit)
+	if !got || !precise {
+		t.Errorf("after detached solve: MayAlias(x,p) = (%v, precise=%v), want (true, true)", got, precise)
+	}
+}
+
+// TestNeedsSolvePredicates: the admission-routing predicates must say
+// "no solve" exactly when the context queries answer structurally.
+func TestNeedsSolvePredicates(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, l1 := v(t, a, "x"), v(t, a, "y"), v(t, a, "l1")
+	if a.MayAliasNeedsSolve(x, x) {
+		t.Errorf("identity pair needs a solve")
+	}
+	if a.MayAliasNeedsSolve(x, l1) {
+		t.Errorf("partition-disjoint pair needs a solve")
+	}
+	if !a.MayAliasNeedsSolve(x, y) {
+		t.Errorf("cold same-partition pair needs no solve")
+	}
+	if !a.PointsToNeedsSolve(x) {
+		t.Errorf("cold covered pointer needs no solve")
+	}
+	exit := exitLoc(a)
+	a.MayAliasContext(context.Background(), x, y, exit)
+	if a.MayAliasNeedsSolve(x, y) {
+		t.Errorf("pair still needs a solve after its clusters solved")
+	}
+	if a.PointsToNeedsSolve(x) {
+		t.Errorf("pointer still needs a solve after its clusters solved")
+	}
+}
+
+// TestSolveStatsAndCoveredPointers sanity-checks the serve-facing
+// accessors.
+func TestSolveStatsAndCoveredPointers(t *testing.T) {
+	a, err := AnalyzeSource(testProgram, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := a.CoveredPointers()
+	if len(covered) == 0 {
+		t.Fatal("no covered pointers")
+	}
+	names := map[string]bool{}
+	for _, p := range covered {
+		names[a.Prog.VarName(p)] = true
+	}
+	for _, want := range []string{"x", "y"} {
+		if !names[want] {
+			t.Errorf("%s missing from CoveredPointers", want)
+		}
+	}
+	if solved, demoted := a.SolveStats(); solved != 0 || demoted != 0 {
+		t.Errorf("fresh lazy analysis: SolveStats = (%d, %d), want (0, 0)", solved, demoted)
+	}
+	x := v(t, a, "x")
+	a.EnsureCluster(context.Background(), a.ClustersOf(x)[0])
+	if solved, _ := a.SolveStats(); solved != 1 {
+		t.Errorf("after one EnsureCluster: solved = %d, want 1", solved)
+	}
+}

@@ -60,11 +60,21 @@ type state struct {
 	attempts int // engine attempts handed a hook so far
 }
 
-// Plan is a set of per-cluster faults. The zero value is unusable; use
-// NewPlan. A Plan is safe for concurrent use by the scheduler's workers.
+// Plan is a set of per-cluster faults, plus an optional global every-Nth
+// fault that fires across clusters. The zero value is unusable; use
+// NewPlan. A Plan is safe for concurrent use by the scheduler's workers,
+// and may be re-armed while analyses that hold it are running — that is
+// how a long-lived server turns chaos on and off under live traffic.
 type Plan struct {
 	mu        sync.Mutex
 	byCluster map[int]*state
+
+	// Global every-Nth fault: fires on every nth Hook request (counted
+	// in arrival order across all clusters) that has no per-cluster
+	// fault of its own.
+	nth      int
+	nthFault Fault
+	nthCount int64
 }
 
 // NewPlan returns an empty fault plan.
@@ -79,6 +89,39 @@ func (p *Plan) Set(clusterID int, f Fault) *Plan {
 	return p
 }
 
+// EveryNth arms a global fault: every nth Hook request (counted in
+// arrival order across all clusters) whose cluster has no fault of its
+// own receives f. n <= 0 disarms. The counter restarts on each call, so
+// re-arming under live traffic stays deterministic. Returns the plan for
+// chaining.
+func (p *Plan) EveryNth(n int, f Fault) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nth, p.nthFault, p.nthCount = n, f, 0
+	return p
+}
+
+// Active reports whether any fault is currently armed — per-cluster or
+// global. Nil plans are inactive. The scheduler bypasses the result
+// cache exactly while the plan is active, so a disarmed plan costs
+// nothing.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nth > 0 && p.nthFault.Kind != None {
+		return true
+	}
+	for _, st := range p.byCluster {
+		if st.f.Kind != None {
+			return true
+		}
+	}
+	return false
+}
+
 // Hook returns the engine hook for the next attempt on clusterID, or nil
 // when the cluster has no (remaining) fault. Each call counts as one
 // attempt against Fault.Attempts.
@@ -90,13 +133,23 @@ func (p *Plan) Hook(clusterID int) fscs.Hook {
 	defer p.mu.Unlock()
 	st, ok := p.byCluster[clusterID]
 	if !ok || st.f.Kind == None {
+		if p.nth > 0 && p.nthFault.Kind != None {
+			p.nthCount++
+			if p.nthCount%int64(p.nth) == 0 {
+				return hookFor(clusterID, p.nthFault)
+			}
+		}
 		return nil
 	}
 	st.attempts++
 	if st.f.Attempts > 0 && st.attempts > st.f.Attempts {
 		return nil // fault spent: this attempt runs clean
 	}
-	f := st.f
+	return hookFor(clusterID, st.f)
+}
+
+// hookFor builds the engine hook that makes f fire.
+func hookFor(clusterID int, f Fault) fscs.Hook {
 	return func(tuples int64) error {
 		if tuples <= f.AfterTuples {
 			return nil

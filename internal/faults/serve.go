@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// ServeInjector injects deterministic faults into the alias daemon's
+// request paths: periodic latency spikes on admitted queries and a pause
+// inside reload (between analyzing the new program and swapping the
+// snapshot) that widens the window a torn-snapshot bug would need. Like
+// Plan, everything is counter-based — the Nth query always spikes, never
+// a random one — so chaos tests replay exactly.
+//
+// All methods are nil-safe no-ops, so servers thread an injector
+// unconditionally and pay nothing when chaos is off. An injector may be
+// re-armed while the server is live.
+type ServeInjector struct {
+	mu           sync.Mutex
+	latencyEvery int
+	latency      time.Duration
+	reloadPause  time.Duration
+	queries      int64
+	spikes       int64
+}
+
+// NewServeInjector returns a disarmed injector.
+func NewServeInjector() *ServeInjector { return &ServeInjector{} }
+
+// SetLatency arms a latency spike of d on every nth admitted query
+// (counted across all clients). n <= 0 or d <= 0 disarms; the counter
+// restarts either way.
+func (i *ServeInjector) SetLatency(n int, d time.Duration) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if n <= 0 || d <= 0 {
+		n, d = 0, 0
+	}
+	i.latencyEvery, i.latency, i.queries = n, d, 0
+}
+
+// SetReloadPause arms (or with 0 disarms) the reload race-window pause.
+func (i *ServeInjector) SetReloadPause(d time.Duration) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.reloadPause = d
+}
+
+// QueryDelay counts one admitted query and returns the latency spike it
+// should suffer (0 for most). The caller is responsible for sleeping —
+// under its own deadline, so a spike degrades the query rather than
+// hanging it.
+func (i *ServeInjector) QueryDelay() time.Duration {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.latencyEvery <= 0 {
+		return 0
+	}
+	i.queries++
+	if i.queries%int64(i.latencyEvery) != 0 {
+		return 0
+	}
+	i.spikes++
+	return i.latency
+}
+
+// LatencyArmed reports whether a latency spike is armed.
+func (i *ServeInjector) LatencyArmed() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.latencyEvery > 0
+}
+
+// ReloadPause returns the armed reload pause (0 when disarmed).
+func (i *ServeInjector) ReloadPause() time.Duration {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.reloadPause
+}
+
+// Spikes reports how many latency spikes have fired.
+func (i *ServeInjector) Spikes() int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.spikes
+}

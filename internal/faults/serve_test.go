@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEveryNthGlobalFault(t *testing.T) {
+	p := NewPlan().EveryNth(3, Fault{Kind: Budget})
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if p.Hook(i) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("every-3rd fault fired %d times in 9 requests, want 3", fired)
+	}
+	// Per-cluster faults take precedence and do not advance the global
+	// counter.
+	p = NewPlan().Set(7, Fault{Kind: Panic}).EveryNth(2, Fault{Kind: Budget})
+	if p.Hook(7) == nil {
+		t.Errorf("per-cluster fault did not fire")
+	}
+	if p.Hook(1) != nil { // global count 1
+		t.Errorf("global fault fired early")
+	}
+	if p.Hook(2) == nil { // global count 2
+		t.Errorf("global fault did not fire on the 2nd uncovered request")
+	}
+}
+
+func TestEveryNthDisarmRestartsCounter(t *testing.T) {
+	p := NewPlan().EveryNth(2, Fault{Kind: Budget})
+	p.Hook(0) // count 1
+	p.EveryNth(2, Fault{Kind: Budget})
+	if p.Hook(0) != nil {
+		t.Errorf("re-arming did not restart the counter")
+	}
+	p.EveryNth(0, Fault{})
+	for i := 0; i < 5; i++ {
+		if p.Hook(i) != nil {
+			t.Errorf("disarmed plan fired")
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Errorf("nil plan active")
+	}
+	p := NewPlan()
+	if p.Active() {
+		t.Errorf("empty plan active")
+	}
+	p.EveryNth(4, Fault{Kind: Budget})
+	if !p.Active() {
+		t.Errorf("armed global fault not active")
+	}
+	p.EveryNth(0, Fault{})
+	if p.Active() {
+		t.Errorf("disarmed plan still active")
+	}
+	p.Set(3, Fault{Kind: Panic})
+	if !p.Active() {
+		t.Errorf("armed per-cluster fault not active")
+	}
+	p.Set(3, Fault{})
+	if p.Active() {
+		t.Errorf("cleared per-cluster fault still active")
+	}
+}
+
+func TestServeInjectorLatency(t *testing.T) {
+	var nilInj *ServeInjector
+	if nilInj.QueryDelay() != 0 || nilInj.ReloadPause() != 0 || nilInj.LatencyArmed() {
+		t.Errorf("nil injector not inert")
+	}
+	i := NewServeInjector()
+	if i.LatencyArmed() {
+		t.Errorf("fresh injector armed")
+	}
+	i.SetLatency(3, 10*time.Millisecond)
+	if !i.LatencyArmed() {
+		t.Errorf("armed injector reports disarmed")
+	}
+	spikes := 0
+	for n := 0; n < 9; n++ {
+		if i.QueryDelay() > 0 {
+			spikes++
+		}
+	}
+	if spikes != 3 || i.Spikes() != 3 {
+		t.Errorf("every-3rd latency spiked %d/%d times in 9 queries, want 3", spikes, i.Spikes())
+	}
+	i.SetLatency(0, 0)
+	if i.LatencyArmed() || i.QueryDelay() != 0 {
+		t.Errorf("disarmed injector still spiking")
+	}
+}
+
+func TestServeInjectorReloadPause(t *testing.T) {
+	i := NewServeInjector()
+	if i.ReloadPause() != 0 {
+		t.Errorf("fresh injector pauses reloads")
+	}
+	i.SetReloadPause(25 * time.Millisecond)
+	if i.ReloadPause() != 25*time.Millisecond {
+		t.Errorf("ReloadPause = %v", i.ReloadPause())
+	}
+	i.SetReloadPause(0)
+	if i.ReloadPause() != 0 {
+		t.Errorf("reload pause not disarmed")
+	}
+}

@@ -51,6 +51,17 @@ func WithHook(h Hook) Option {
 	}
 }
 
+// Detach removes the attempt-local solve state — the cancellation
+// context and the injected-fault hook — from an engine whose Run
+// completed. Queries on a solved engine still drive demand computation
+// (value sets materialize per location), and that computation must not
+// abort because the solve's deadline has since passed, nor suffer faults
+// that were injected into the solve attempt.
+func (e *Engine) Detach() {
+	e.ctx = nil
+	e.hook = nil
+}
+
 // WithFallback supplies a flow-insensitive analysis used when the
 // flow-sensitive walk loses precision (TUnknown); without it the engine
 // falls back to the Steensgaard partitioning.

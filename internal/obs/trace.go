@@ -49,12 +49,14 @@ const tracePID = 1
 //	1        the concurrent fallback build (pipelined cascade)
 //	100 + w  FSCS scheduler worker w (cluster, attempt and cache spans)
 //	200 + w  clustering-stream worker w (partition refinement spans)
+//	300 + i  alias-daemon query lane i (per-query spans, hashed over lanes)
 const (
 	TIDMain     = 0
 	TIDFallback = 1
 
 	tidWorkerBase    = 100
 	tidClustererBase = 200
+	tidQueryBase     = 300
 )
 
 // WorkerTID returns the track of FSCS scheduler worker w.
@@ -62,6 +64,11 @@ func WorkerTID(w int) int { return tidWorkerBase + w }
 
 // ClustererTID returns the track of clustering-stream worker w.
 func ClustererTID(w int) int { return tidClustererBase + w }
+
+// QueryTID returns the track of alias-daemon query lane i. Lanes keep
+// concurrent per-query spans on a bounded set of named tracks instead of
+// one goroutine-per-track explosion.
+func QueryTID(i int) int { return tidQueryBase + i }
 
 // Tracer collects spans from many goroutines. Export order is canonical:
 // events sort by (tid, per-tid arrival), so any single-threaded track —

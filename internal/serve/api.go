@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// QueryRequest is the body of POST /v1/mayalias and POST /v1/pointsto.
+type QueryRequest struct {
+	// P is the queried pointer's variable name (required).
+	P string `json:"p"`
+	// Q is the second pointer of a may-alias query.
+	Q string `json:"q,omitempty"`
+	// At names the function whose exit is the query location; empty
+	// means the program's entry function.
+	At string `json:"at,omitempty"`
+	// TimeoutMS overrides the server's per-query deadline, capped by it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the body of a successful alias query.
+type QueryResponse struct {
+	MayAlias *bool    `json:"may_alias,omitempty"`
+	PointsTo []string `json:"points_to,omitempty"`
+	Precise  *bool    `json:"precise,omitempty"` // points-to only: every engine precise
+	// Degraded marks an answer served at Andersen precision because a
+	// cluster was still solving at the deadline, was demoted by the
+	// degradation ladder, or the query could not get a solve slot in
+	// time. Degraded answers are still sound for may-alias.
+	Degraded bool `json:"degraded"`
+	// Warm reports the query bypassed the admission queue: every cluster
+	// it touches was already solved (or permanently demoted).
+	Warm bool `json:"warm"`
+	// Snapshot identifies the program snapshot that produced the whole
+	// answer; it changes only on a successful /reload.
+	Snapshot  int64 `json:"snapshot"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429 responses (the header carries the
+	// same value in seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ReloadRequest is the body of POST /reload. Source, when non-empty, is
+// the new program's CPL text. Otherwise the server's regenerator (the
+// -synth workload or the original program file) rebuilds the source,
+// with Variant salting synthetic workloads so successive reloads really
+// change the program.
+type ReloadRequest struct {
+	Source  string `json:"source,omitempty"`
+	Variant int    `json:"variant,omitempty"`
+}
+
+// ReloadResponse reports a successful snapshot swap.
+type ReloadResponse struct {
+	Snapshot  int64  `json:"snapshot"`
+	Desc      string `json:"desc"`
+	Vars      int    `json:"vars"`
+	Clusters  int    `json:"clusters"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// InfoResponse is the body of GET /v1/info.
+type InfoResponse struct {
+	Snapshot    int64  `json:"snapshot"`
+	Desc        string `json:"desc"`
+	Vars        int    `json:"vars"`
+	Funcs       int    `json:"funcs"`
+	Clusters    int    `json:"clusters"`
+	Solved      int    `json:"solved"`
+	Demoted     int    `json:"demoted"`
+	Draining    bool   `json:"draining"`
+	ChaosArmed  bool   `json:"chaos_armed"`
+	QueueDepth  int    `json:"queue_depth"`
+	MaxSolves   int    `json:"max_solves"`
+	QueryTimeMS int64  `json:"query_timeout_ms"`
+}
+
+// VarsResponse is the body of GET /v1/vars: the query population a load
+// driver samples from.
+type VarsResponse struct {
+	Snapshot int64    `json:"snapshot"`
+	Funcs    []string `json:"funcs"`
+	Pointers []string `json:"pointers"`
+	// Partitions groups covered pointers by Steensgaard partition (size
+	// >= 2 only, capped): pairs drawn inside a group can actually alias,
+	// pairs across groups never do.
+	Partitions [][]string `json:"partitions,omitempty"`
+}
+
+// LocksetResponse is the body of POST /v1/lockset. When the detector is
+// still running at the query's deadline, Ready is false and the caller
+// should retry; the computation continues server-side and is shared by
+// all callers of the same snapshot.
+type LocksetResponse struct {
+	Ready        bool     `json:"ready"`
+	Threads      int      `json:"threads,omitempty"`
+	Accesses     int      `json:"accesses,omitempty"`
+	Races        []string `json:"races,omitempty"`
+	Snapshot     int64    `json:"snapshot"`
+	RetryAfterMS int64    `json:"retry_after_ms,omitempty"`
+}
+
+// ChaosRequest arms (or, all-zero, disarms) the server's fault
+// injection. Only served when the daemon was started with chaos enabled.
+type ChaosRequest struct {
+	// LatencyEvery/LatencyMS: every nth admitted query sleeps LatencyMS
+	// (bounded by the query's own deadline).
+	LatencyEvery int `json:"latency_every,omitempty"`
+	LatencyMS    int `json:"latency_ms,omitempty"`
+	// SolveFaultEvery/SolveFaultKind: every nth cluster-solve attempt
+	// receives a fault of the given kind (budget, panic or slow).
+	SolveFaultEvery int    `json:"solve_fault_every,omitempty"`
+	SolveFaultKind  string `json:"solve_fault_kind,omitempty"`
+	SolveSlowMS     int    `json:"solve_slow_ms,omitempty"`
+	// FaultAttempts bounds how many ladder attempts per cluster the
+	// fault fires on (0 = every attempt, so the cluster demotes).
+	FaultAttempts int `json:"fault_attempts,omitempty"`
+	// ReloadPauseMS widens the window between analyzing a reloaded
+	// program and swapping it in — the torn-snapshot race amplifier.
+	ReloadPauseMS int `json:"reload_pause_ms,omitempty"`
+}
+
+// ChaosResponse echoes the armed state.
+type ChaosResponse struct {
+	Armed bool `json:"armed"`
+}
+
+// writeJSON writes one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+	"bootstrap/internal/lockset"
+)
+
+// Snapshot is one immutable loaded program plus its (lazily solved)
+// analysis. The server publishes snapshots through an atomic pointer;
+// every request loads the pointer exactly once and works against that
+// snapshot for its whole lifetime, so a concurrent reload can never hand
+// a request half of one program and half of another. Old snapshots stay
+// valid until their last in-flight query returns, then the collector
+// reclaims them.
+type Snapshot struct {
+	// ID increases by one per successful load; it is echoed in every
+	// response so clients (and the torn-snapshot chaos test) can tell
+	// which program answered.
+	ID   int64
+	Desc string
+	Prog *ir.Program
+	A    *core.Analysis
+
+	// Lockset results are snapshot-scoped and computed at most once, by
+	// whichever request arrives first; later requests (and requests that
+	// time out waiting) share the same computation.
+	lockOnce sync.Once
+	lockDone chan struct{}
+	lockRes  *locksetResult
+}
+
+type locksetResult struct {
+	threads  int
+	accesses int
+	races    []string
+}
+
+// buildSnapshot parses, lowers and analyzes src in the server's lazy
+// configuration. Any error — parse, lowering, validation, analysis —
+// leaves the server's current snapshot untouched.
+func (s *Server) buildSnapshot(ctx context.Context, id int64, desc, src string) (*Snapshot, error) {
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		return nil, fmt.Errorf("load %q: %w", desc, err)
+	}
+	a, err := core.AnalyzeProgramContext(ctx, prog, s.acfg)
+	if err != nil {
+		return nil, fmt.Errorf("analyze %q: %w", desc, err)
+	}
+	return &Snapshot{
+		ID:       id,
+		Desc:     desc,
+		Prog:     prog,
+		A:        a,
+		lockDone: make(chan struct{}),
+	}, nil
+}
+
+// Load analyzes src and publishes it as the first snapshot. It is the
+// boot-time counterpart of Reload (no old snapshot to protect).
+func (s *Server) Load(ctx context.Context, desc, src string) (*Snapshot, error) {
+	return s.swap(ctx, desc, src)
+}
+
+// Reload analyzes src and, only on success, atomically swaps it in as
+// the serving snapshot. In-flight queries keep answering from the
+// snapshot they started on; queries that arrive after the swap see the
+// new program. A failed reload is reported to the caller and leaves the
+// old snapshot serving — reload is all-or-nothing.
+//
+// Reloads are serialized: concurrent calls run one at a time, each
+// against the then-current snapshot ID.
+func (s *Server) Reload(ctx context.Context, desc, src string) (*Snapshot, error) {
+	sn, err := s.swap(ctx, desc, src)
+	if err != nil {
+		s.mReloadFail.Add(1)
+		return nil, err
+	}
+	s.mReloads.Add(1)
+	return sn, nil
+}
+
+func (s *Server) swap(ctx context.Context, desc, src string) (*Snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	var oldID int64
+	if old := s.snap.Load(); old != nil {
+		oldID = old.ID
+	}
+	sn, err := s.buildSnapshot(ctx, oldID+1, desc, src)
+	if err != nil {
+		return nil, err
+	}
+	// Chaos hook: widen the window between "new snapshot fully built"
+	// and "new snapshot published". Queries running in this window must
+	// still answer entirely from the old snapshot.
+	if d := s.inj.ReloadPause(); d > 0 {
+		time.Sleep(d)
+	}
+	s.snap.Store(sn)
+	return sn, nil
+}
+
+// Lockset returns the snapshot's race-detection result, computing it on
+// first demand. The computation pre-solves every cluster (bounded by the
+// server's solve semaphore) and then runs the lockset detector; it
+// continues even if ctx expires — the caller gets ready=false and
+// retries while later callers reuse the finished result.
+func (sn *Snapshot) Lockset(ctx context.Context, s *Server) (*locksetResult, bool) {
+	sn.lockOnce.Do(func() {
+		go sn.computeLockset(s)
+	})
+	select {
+	case <-sn.lockDone:
+		return sn.lockRes, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+func (sn *Snapshot) computeLockset(s *Server) {
+	defer close(sn.lockDone)
+	// Pre-solve the whole cover so the detector's PointsTo probes are
+	// warm; each solve holds one solve-semaphore slot, sharing capacity
+	// fairly with cold user queries.
+	var wg sync.WaitGroup
+	for _, c := range sn.A.Clusters {
+		if sn.A.ClusterSolved(c.ID) {
+			continue
+		}
+		wg.Add(1)
+		s.solveSem <- struct{}{}
+		go func(id int) {
+			defer wg.Done()
+			defer func() { <-s.solveSem }()
+			sn.A.EnsureCluster(context.Background(), id)
+		}(c.ID)
+	}
+	wg.Wait()
+
+	det := lockset.NewDetector(sn.A, lockset.Config{})
+	races, accesses := det.Detect()
+	res := &locksetResult{
+		threads:  len(det.Threads()),
+		accesses: len(accesses),
+	}
+	for _, r := range races {
+		res.races = append(res.races, r.Format(sn.Prog))
+	}
+	sn.lockRes = res
+}
