@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"bootstrap/internal/bench"
 	"bootstrap/internal/cliutil"
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
@@ -156,10 +157,31 @@ func run(path string) (err error) {
 			a.Prog.NumVars(), len(a.Clusters), healthSummary(a.Health))
 		fmt.Printf("timing: lower=%v steensgaard=%v clustering=%v fscs(seq)=%v fscs(wall)=%v\n",
 			a.Timing.Lower, a.Timing.Steensgaard, a.Timing.Clustering, a.Timing.FSCS, a.Timing.Wall)
+		var partSizes, clusterSizes []int
+		for _, part := range a.Steens.Partitions() {
+			partSizes = append(partSizes, len(part))
+		}
+		for _, c := range a.Clusters {
+			clusterSizes = append(clusterSizes, len(c.Pointers))
+		}
+		pp50, pp90, pmax := bench.SizeHist(partSizes)
+		cp50, cp90, cmax := bench.SizeHist(clusterSizes)
+		fmt.Printf("partitions: n=%d p50=%d p90=%d max=%d  precise=%v deferred=%d\n",
+			len(partSizes), pp50, pp90, pmax, analysisFlags.SteensPrecise, a.Steens.Stats().Deferred)
+		fmt.Printf("clusters: n=%d p50=%d p90=%d max=%d\n",
+			len(clusterSizes), cp50, cp90, cmax)
 		if a.Andersen != nil {
 			ss := a.Andersen.SolverStats()
 			fmt.Printf("andersen solver: passes=%d collapses=%d merged=%d cycle-elim=%v\n",
 				ss.Passes, ss.Collapses, ss.Merged, analysisFlags.CycleElim)
+			if ss.Waves > 0 {
+				occ := 0.0
+				if ss.ParFronts > 0 {
+					occ = float64(ss.ParNodes) / float64(ss.ParFronts)
+				}
+				fmt.Printf("delta solve: waves=%d edges-fired=%d merges=%d par-fronts=%d par-occupancy=%.1f\n",
+					ss.Waves, ss.DeltaEdgesFired, ss.DeltaMerges, ss.ParFronts, occ)
+			}
 		}
 		if cfg.Cache != nil {
 			cs := a.CacheStats

@@ -56,23 +56,51 @@ func ReadFSCSJSONFile(path string) (FSCSPerfReport, error) {
 // Absolute nanoseconds are deliberately not compared: they measure the
 // runner, not the code.
 func AssertFSCS(baseline, fresh FSCSPerfReport) []error {
+	// Points are keyed by (bench, workers). A pre-PR-7 baseline has no
+	// workers column (0 = "whatever GOMAXPROCS was"); its rows are held
+	// against the fresh Workers=8 measurements, the closest successor.
+	key := func(p FSCSPerfPoint) string { return fmt.Sprintf("%s/w%d", p.Bench, p.Workers) }
 	freshBy := make(map[string]FSCSPerfPoint, len(fresh.Points))
 	for _, p := range fresh.Points {
-		freshBy[p.Bench] = p
+		freshBy[key(p)] = p
 	}
 	var errs []error
 	for _, base := range baseline.Points {
-		p, ok := freshBy[base.Bench]
+		name := key(base)
+		p, ok := freshBy[name]
+		cluster := p
+		if !ok && base.Workers == 0 {
+			// Legacy row: program columns against w8, but the per-cluster
+			// engine columns live only in the w1 row.
+			p, ok = freshBy[fmt.Sprintf("%s/w8", base.Bench)]
+			cluster = freshBy[fmt.Sprintf("%s/w1", base.Bench)]
+		}
 		if !ok {
-			errs = append(errs, fmt.Errorf("%s: missing from the fresh report", base.Bench))
+			errs = append(errs, fmt.Errorf("%s: missing from the fresh report", name))
 			continue
 		}
+		if base.Workers != 0 {
+			cluster = p
+		}
 		errs = append(errs,
-			checkSpeedup(base.Bench, "cluster_speedup", base.ClusterSpeedup, p.ClusterSpeedup),
-			checkSpeedup(base.Bench, "program_speedup", base.ProgramSpeedup, p.ProgramSpeedup))
+			checkSpeedup(name, "cluster_speedup", base.ClusterSpeedup, cluster.ClusterSpeedup),
+			checkSpeedup(name, "program_speedup", base.ProgramSpeedup, p.ProgramSpeedup))
 		if p.CacheHitRate != 1.0 {
 			errs = append(errs, fmt.Errorf("%s: cache_hit_rate = %.2f, want 1.0 (warm rerun must import every cluster)",
-				base.Bench, p.CacheHitRate))
+				name, p.CacheHitRate))
+		}
+		// Shape gate: once a baseline records the size histograms, fresh
+		// reports must keep recording them coherently, and the precise
+		// partitioner must not regress past the default's max partition.
+		if base.PartitionMax > 0 {
+			switch {
+			case cluster.PartitionMax <= 0 || cluster.PartitionP50 > cluster.PartitionP90 || cluster.PartitionP90 > cluster.PartitionMax:
+				errs = append(errs, fmt.Errorf("%s: incoherent partition histogram p50=%d p90=%d max=%d",
+					name, cluster.PartitionP50, cluster.PartitionP90, cluster.PartitionMax))
+			case cluster.PrecisePartitionMax <= 0 || cluster.PrecisePartitionMax > cluster.PartitionMax:
+				errs = append(errs, fmt.Errorf("%s: precise_partition_max = %d, want in (0, %d] (oversharing fix regressed)",
+					name, cluster.PrecisePartitionMax, cluster.PartitionMax))
+			}
 		}
 	}
 	out := errs[:0]

@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/synth"
+)
+
+func BenchmarkAutofsPipelined(b *testing.B) {
+	bm, _ := synth.FindBenchmark("autofs")
+	prog, err := frontend.LowerSource(synth.Generate(bm, 0.12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Mode: core.ModeAndersen, Workers: 1, AndersenThreshold: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeProgramContext(context.Background(), prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +35,25 @@ type FSCSPerfPoint struct {
 	Bench    string `json:"bench"`
 	Pointers int    `json:"pointers"`
 	Clusters int    `json:"clusters"`
+	// Workers is this row's parallelism: each workload is measured at
+	// Workers=1 (the serial trajectory older baselines recorded) and
+	// Workers=8 (where the parallel wave-front solve and the pipelined
+	// cascade earn their keep). Zero in a pre-PR-7 baseline file means
+	// "whatever GOMAXPROCS was"; AssertFSCS matches those rows against
+	// the fresh Workers=8 measurements.
+	Workers int `json:"workers,omitempty"`
+
+	// Partition- and cluster-size shape of the workload (Workers=1 row
+	// only; the shape is workers-independent). PrecisePartitionMax is
+	// MaxPartitionSize under the oversharing-resistant -steens-precise
+	// partitioner, the column the PR-7 acceptance criterion watches.
+	PartitionP50        int `json:"partition_p50,omitempty"`
+	PartitionP90        int `json:"partition_p90,omitempty"`
+	PartitionMax        int `json:"partition_max,omitempty"`
+	PrecisePartitionMax int `json:"precise_partition_max,omitempty"`
+	ClusterP50          int `json:"cluster_p50,omitempty"`
+	ClusterP90          int `json:"cluster_p90,omitempty"`
+	ClusterMax          int `json:"cluster_max,omitempty"`
 
 	InternedClusterNS int64   `json:"interned_cluster_ns"`
 	LegacyClusterNS   int64   `json:"legacy_cluster_ns"`
@@ -111,20 +133,52 @@ func LegacyAnalyzeProgram(prog *ir.Program, threshold, workers int) {
 	wg.Wait()
 }
 
+// fscsWorkersAxis is the parallelism dimension of the report: the serial
+// trajectory older baselines recorded, and the width where the parallel
+// wave-front solve and the pipelined cascade earn their keep.
+var fscsWorkersAxis = [2]int{1, 8}
+
+// SizeHist summarizes a size distribution with the three quantiles the
+// report records. Percentiles use the nearest-rank method on the sorted
+// sizes; an empty input yields zeros.
+func SizeHist(sizes []int) (p50, p90, max int) {
+	if len(sizes) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]int(nil), sizes...)
+	sort.Ints(s)
+	rank := func(q float64) int {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return rank(0.50), rank(0.90), s[len(s)-1]
+}
+
 // FSCSPerf measures every workload in the given order (callers pass a
-// fixed cover order so successive BENCH_fscs.json files diff cleanly).
-// reps < 1 defaults to 3.
+// fixed cover order so successive BENCH_fscs.json files diff cleanly),
+// at each parallelism of fscsWorkersAxis. reps < 1 defaults to 3.
+//
+// The optimized (pipelined) side runs the default PR-7 configuration —
+// delta propagation and the parallel wave-front solve above its default
+// threshold; the baseline side is the frozen legacy cascade. The
+// oversharing-resistant precise partitioner is measured separately (the
+// precise_partition_max column): its overlapping cover shrinks the worst
+// partition but enlarges the cluster cover, so it is a precision knob,
+// not part of the timed fast path. The knobs make any column
+// reproducible in isolation from the bootstrap CLI.
 func FSCSPerf(benches []synth.Benchmark, opt Options, reps int, w io.Writer) (FSCSPerfReport, error) {
 	opt.fill()
 	if reps < 1 {
 		reps = 3
 	}
-	workers := runtime.GOMAXPROCS(0)
 	report := FSCSPerfReport{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		Scale:     opt.Scale,
 		Threshold: opt.threshold(),
-		Workers:   workers,
+		Workers:   runtime.GOMAXPROCS(0),
 		Reps:      reps,
 	}
 	for _, b := range benches {
@@ -136,62 +190,94 @@ func FSCSPerf(benches []synth.Benchmark, opt Options, reps int, w io.Writer) (FS
 		cg := callgraph.Build(prog)
 		cover := cluster.BuildAndersen(prog, sa, opt.threshold())
 
-		p := FSCSPerfPoint{Bench: b.Name, Pointers: prog.NumVars(), Clusters: len(cover)}
-		p.InternedClusterNS = int64(timeCover(reps, func() {
+		// Workers-independent columns, measured once and reported in the
+		// Workers=1 row: the per-cluster engine comparison and the
+		// partition/cluster shape histograms.
+		internedNS := int64(timeCover(reps, func() {
 			for _, c := range cover {
 				eng := fscs.NewEngine(prog, cg, sa, c)
 				_ = eng.Run()
 			}
 		}))
-		p.LegacyClusterNS = int64(timeCover(reps, func() {
+		legacyNS := int64(timeCover(reps, func() {
 			for _, c := range cover {
 				eng := legacyfscs.NewEngine(prog, cg, sa, c)
 				_ = eng.Run()
 			}
 		}))
-		p.ClusterSpeedup = ratio(p.LegacyClusterNS, p.InternedClusterNS)
-
-		cfg := core.Config{
-			Mode:              core.ModeAndersen,
-			Workers:           workers,
-			AndersenThreshold: opt.threshold(),
+		var partSizes, clusterSizes []int
+		for _, part := range sa.Partitions() {
+			partSizes = append(partSizes, len(part))
 		}
-		p.PipelinedProgramNS = int64(timeCover(reps, func() {
-			if _, err := core.AnalyzeProgramContext(context.Background(), prog, cfg); err != nil {
-				panic(err) // synthetic workloads never fail to analyze
+		for _, c := range cover {
+			clusterSizes = append(clusterSizes, len(c.Pointers))
+		}
+		preciseMax := steens.Analyze(prog, steens.Precise()).MaxPartitionSize()
+
+		for wi, workers := range fscsWorkersAxis {
+			p := FSCSPerfPoint{
+				Bench:    b.Name,
+				Pointers: prog.NumVars(),
+				Clusters: len(cover),
+				Workers:  workers,
 			}
-		}))
-		p.BaselineProgramNS = int64(timeCover(reps, func() {
-			LegacyAnalyzeProgram(prog, opt.threshold(), workers)
-		}))
-		p.ProgramSpeedup = ratio(p.BaselineProgramNS, p.PipelinedProgramNS)
-
-		// Warm rerun against the result cache. The first cache-enabled run
-		// reports the hit rate (cold dir: 0.0; pre-populated dir: 1.0) and
-		// fills the in-memory tier; the timed reruns then serve entirely
-		// from it.
-		cc := cache.New(cache.Options{Dir: opt.CacheDir})
-		ccfg := cfg
-		ccfg.Cache = cc
-		a, err := core.AnalyzeProgramContext(context.Background(), prog, ccfg)
-		if err != nil {
-			return report, fmt.Errorf("fscsperf %s: %w", b.Name, err)
-		}
-		p.CacheHitRate = a.CacheStats.HitRate()
-		p.WarmProgramNS = int64(timeCover(reps, func() {
-			if _, err := core.AnalyzeProgramContext(context.Background(), prog, ccfg); err != nil {
-				panic(err) // synthetic workloads never fail to analyze
+			if wi == 0 {
+				p.InternedClusterNS = internedNS
+				p.LegacyClusterNS = legacyNS
+				p.ClusterSpeedup = ratio(legacyNS, internedNS)
+				p.PartitionP50, p.PartitionP90, p.PartitionMax = SizeHist(partSizes)
+				p.ClusterP50, p.ClusterP90, p.ClusterMax = SizeHist(clusterSizes)
+				p.PrecisePartitionMax = preciseMax
 			}
-		}))
-		p.WarmSpeedup = ratio(p.PipelinedProgramNS, p.WarmProgramNS)
 
-		if w != nil {
-			fmt.Fprintf(w, "%-16s cluster %6.2fx (%.1fms -> %.1fms)  program %6.2fx (%.1fms -> %.1fms)  warm %6.2fx (%.1fms, hit rate %.2f)\n",
-				b.Name, p.ClusterSpeedup, ms(p.LegacyClusterNS), ms(p.InternedClusterNS),
-				p.ProgramSpeedup, ms(p.BaselineProgramNS), ms(p.PipelinedProgramNS),
-				p.WarmSpeedup, ms(p.WarmProgramNS), p.CacheHitRate)
+			cfg := core.Config{
+				Mode:              core.ModeAndersen,
+				Workers:           workers,
+				AndersenThreshold: opt.threshold(),
+			}
+			p.PipelinedProgramNS = int64(timeCover(reps, func() {
+				if _, err := core.AnalyzeProgramContext(context.Background(), prog, cfg); err != nil {
+					panic(err) // synthetic workloads never fail to analyze
+				}
+			}))
+			p.BaselineProgramNS = int64(timeCover(reps, func() {
+				LegacyAnalyzeProgram(prog, opt.threshold(), workers)
+			}))
+			p.ProgramSpeedup = ratio(p.BaselineProgramNS, p.PipelinedProgramNS)
+
+			// Warm rerun against the result cache, one cache subtree per
+			// workers column so each row's first cache-enabled run sees the
+			// dir state a CI rerun of that row would. The first run reports
+			// the hit rate (cold dir: 0.0; pre-populated dir: 1.0) and fills
+			// the in-memory tier; the timed reruns then serve entirely from
+			// it.
+			cdir := opt.CacheDir
+			if cdir != "" {
+				cdir = filepath.Join(cdir, fmt.Sprintf("w%d", workers))
+			}
+			cc := cache.New(cache.Options{Dir: cdir})
+			ccfg := cfg
+			ccfg.Cache = cc
+			a, err := core.AnalyzeProgramContext(context.Background(), prog, ccfg)
+			if err != nil {
+				return report, fmt.Errorf("fscsperf %s: %w", b.Name, err)
+			}
+			p.CacheHitRate = a.CacheStats.HitRate()
+			p.WarmProgramNS = int64(timeCover(reps, func() {
+				if _, err := core.AnalyzeProgramContext(context.Background(), prog, ccfg); err != nil {
+					panic(err) // synthetic workloads never fail to analyze
+				}
+			}))
+			p.WarmSpeedup = ratio(p.PipelinedProgramNS, p.WarmProgramNS)
+
+			if w != nil {
+				fmt.Fprintf(w, "%-16s w%-2d cluster %6.2fx (%.1fms -> %.1fms)  program %6.2fx (%.1fms -> %.1fms)  warm %6.2fx (%.1fms, hit rate %.2f)\n",
+					b.Name, workers, p.ClusterSpeedup, ms(p.LegacyClusterNS), ms(p.InternedClusterNS),
+					p.ProgramSpeedup, ms(p.BaselineProgramNS), ms(p.PipelinedProgramNS),
+					p.WarmSpeedup, ms(p.WarmProgramNS), p.CacheHitRate)
+			}
+			report.Points = append(report.Points, p)
 		}
-		report.Points = append(report.Points, p)
 	}
 	return report, nil
 }

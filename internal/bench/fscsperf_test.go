@@ -33,18 +33,37 @@ func TestFSCSPerfReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Points) != len(rows) {
-		t.Fatalf("got %d points, want %d", len(rep.Points), len(rows))
+	if len(rep.Points) != len(rows)*len(fscsWorkersAxis) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(rows)*len(fscsWorkersAxis))
 	}
 	for i, p := range rep.Points {
-		if p.Bench != rows[i].Name {
-			t.Errorf("point %d is %s, want %s (fixed cover order)", i, p.Bench, rows[i].Name)
+		row, wi := rows[i/len(fscsWorkersAxis)], i%len(fscsWorkersAxis)
+		if p.Bench != row.Name {
+			t.Errorf("point %d is %s, want %s (fixed cover order)", i, p.Bench, row.Name)
+		}
+		if p.Workers != fscsWorkersAxis[wi] {
+			t.Errorf("point %d has workers=%d, want %d", i, p.Workers, fscsWorkersAxis[wi])
 		}
 		if p.Clusters <= 0 || p.Pointers <= 0 {
 			t.Errorf("%s: empty shape: %+v", p.Bench, p)
 		}
-		if p.ClusterSpeedup <= 0 || p.ProgramSpeedup <= 0 {
-			t.Errorf("%s: speedup not computed: %+v", p.Bench, p)
+		if p.ProgramSpeedup <= 0 {
+			t.Errorf("%s/w%d: program speedup not computed: %+v", p.Bench, p.Workers, p)
+		}
+		if wi == 0 {
+			if p.ClusterSpeedup <= 0 {
+				t.Errorf("%s/w%d: cluster speedup not computed: %+v", p.Bench, p.Workers, p)
+			}
+			if p.PartitionMax <= 0 || p.ClusterMax <= 0 ||
+				p.PartitionP50 > p.PartitionP90 || p.PartitionP90 > p.PartitionMax ||
+				p.ClusterP50 > p.ClusterP90 || p.ClusterP90 > p.ClusterMax {
+				t.Errorf("%s: bad size histogram: %+v", p.Bench, p)
+			}
+			if p.PrecisePartitionMax <= 0 || p.PrecisePartitionMax > p.PartitionMax {
+				t.Errorf("%s: precise partition max %d outside (0, %d]", p.Bench, p.PrecisePartitionMax, p.PartitionMax)
+			}
+		} else if p.ClusterSpeedup != 0 || p.PartitionMax != 0 {
+			t.Errorf("%s/w%d: workers-independent columns duplicated: %+v", p.Bench, p.Workers, p)
 		}
 	}
 	var buf bytes.Buffer

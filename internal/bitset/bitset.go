@@ -102,6 +102,39 @@ func (s *Set) UnionWith(t *Set) bool {
 	return changed
 }
 
+// Reset removes every element but keeps the backing storage, so a hot
+// loop can recycle delta sets without reallocating.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionInto ors t \ s into both s and acc, reporting whether s changed.
+// It is the delta-propagation kernel: one pass computes the newly added
+// bits and accumulates them into the receiver's pending-delta set.
+func (s *Set) UnionInto(t, acc *Set) bool {
+	if t == nil {
+		return false
+	}
+	if len(s.words) < len(t.words) {
+		s.ensure(len(t.words)*wordBits - 1)
+	}
+	if len(acc.words) < len(t.words) {
+		acc.ensure(len(t.words)*wordBits - 1)
+	}
+	changed := false
+	for i, w := range t.words {
+		add := w &^ s.words[i]
+		if add != 0 {
+			s.words[i] |= add
+			acc.words[i] |= add
+			changed = true
+		}
+	}
+	return changed
+}
+
 // DiffFrom returns the elements of t not in s (t \ s) as a fresh set.
 // It is used by the Andersen solver to propagate only the delta.
 func (s *Set) DiffFrom(t *Set) *Set {

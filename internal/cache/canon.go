@@ -33,7 +33,7 @@ import (
 // canonical encoding below (or the payload format in package fscs)
 // changes shape, so stale entries from older builds can never be
 // misinterpreted.
-const encodingVersion = "bootstrap-cluster-canon/v1\x00"
+const encodingVersion = "bootstrap-cluster-canon/v2\x00"
 
 // Key is the content-addressed identity of one cluster's analysis
 // problem: the SHA-256 of the canonical slice encoding.
@@ -263,6 +263,16 @@ func NewCanon(prog *ir.Program, sa *steens.Analysis, cg *callgraph.Graph, c *clu
 		buf = binary.AppendUvarint(buf, classRef(sa.ContentClass(v)))
 		buf = binary.AppendUvarint(buf, classRef(sa.LocClass(v)))
 		buf = binary.AppendUvarint(buf, uint64(sa.Depth(v)))
+		// Precise-mode overlay memberships. Sink status is a whole-program
+		// property (a var is a sink only if *no* statement anywhere reads
+		// it), so two structurally identical slices can disagree on it;
+		// without this the key would collide across programs and serve a
+		// summary computed under different partition semantics.
+		sinks := sa.SinkClasses(v)
+		buf = binary.AppendUvarint(buf, uint64(len(sinks)))
+		for _, g := range sinks {
+			buf = binary.AppendUvarint(buf, classRef(g))
+		}
 	}
 
 	// V_P and P membership over canonical indices.

@@ -32,6 +32,11 @@ type AnalysisFlags struct {
 	NoPipeline bool
 	CycleElim  bool
 	CacheDir   string
+
+	NoDelta           bool
+	NoParSolve        bool
+	ParSolveThreshold int
+	SteensPrecise     bool
 }
 
 // Register installs the analysis flags on fs.
@@ -50,6 +55,11 @@ func (f *AnalysisFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.NoPipeline, "no-pipeline", false, "run the clustering cascade serially before FSCS instead of pipelined (slower; results identical)")
 	fs.BoolVar(&f.CycleElim, "cycle-elim", true, "online cycle elimination in the Andersen solver (results identical either way)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "directory for the persistent per-cluster result cache; warm re-runs import unchanged clusters instead of re-solving (results identical)")
+
+	fs.BoolVar(&f.NoDelta, "no-delta", false, "disable difference propagation in the Andersen solver, reverting to the legacy full-propagation worklist (slower; results identical)")
+	fs.BoolVar(&f.NoParSolve, "no-par-solve", false, "keep Andersen delta solves serial even on oversized partitions (slower; results identical)")
+	fs.IntVar(&f.ParSolveThreshold, "par-solve-threshold", 0, "constrained-node count above which an Andersen solve fans wave fronts across the worker pool (0 = default 512)")
+	fs.BoolVar(&f.SteensPrecise, "steens-precise", false, "oversharing-resistant Steensgaard: write-only sinks join source partitions via an overlay instead of unifying them (smaller max partition; sound, may be more precise)")
 }
 
 // ParseMode maps a -mode flag value to a core.Mode.
@@ -95,6 +105,10 @@ func (f *AnalysisFlags) Config() (core.Config, error) {
 		DisableInterning:  f.NoIntern,
 		DisablePipelining: f.NoPipeline,
 		DisableCycleElim:  !f.CycleElim,
+		DisableDeltaProp:  f.NoDelta,
+		DisableParSolve:   f.NoParSolve,
+		ParSolveThreshold: f.ParSolveThreshold,
+		SteensPrecise:     f.SteensPrecise,
 	}
 	if f.CacheDir != "" {
 		cfg.Cache = cache.New(cache.Options{Dir: f.CacheDir})

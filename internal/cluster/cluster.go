@@ -438,7 +438,11 @@ func StreamAndersen(ctx context.Context, p *ir.Program, sa *steens.Analysis, thr
 				if tr != nil && len(part) > threshold {
 					sp := tr.Start("cluster", "refine", tid).
 						Arg("partition", i).Arg("size", len(part))
-					cs := buildPartition(ix, part, threshold, aopts)
+					// Wave spans of the per-partition Andersen solve land
+					// on this worker's track, nested under the refine span.
+					topts := append(append([]andersen.Option{}, aopts...),
+						andersen.WithTracer(tr, tid))
+					cs := buildPartition(ix, part, threshold, topts)
 					sp.Arg("clusters", len(cs)).End()
 					results[i] <- cs
 					continue

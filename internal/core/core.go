@@ -127,6 +127,30 @@ type Config struct {
 	// the per-partition clustering solves. Points-to results are identical
 	// either way — the knob trades speed only.
 	DisableCycleElim bool
+	// DisableDeltaProp turns off the Andersen solver's difference
+	// propagation (per-node delta sets drained in wave order over the
+	// collapsed SCC DAG) in both the fallback and the clustering solves,
+	// reverting to the legacy full-propagation worklist. Points-to results
+	// are bit-for-bit identical either way — the knob keeps the old path
+	// alive as a differential baseline.
+	DisableDeltaProp bool
+	// DisableParSolve keeps the delta solver serial even on partitions
+	// above ParSolveThreshold. The parallel solve fans each wave front
+	// across a bounded worker pool; results are identical, the knob trades
+	// speed only. Implied by DisableDeltaProp and by Workers == 1.
+	DisableParSolve bool
+	// ParSolveThreshold is the constrained-node count above which an
+	// Andersen solve switches from the serial to the parallel wave-front
+	// path. Zero selects andersen.DefaultParSolveThreshold.
+	ParSolveThreshold int
+	// SteensPrecise enables the oversharing-resistant Steensgaard
+	// variant: write-only sink variables no longer eagerly unify the
+	// partitions copied into them; instead the sink joins each source's
+	// partition through a post-fixpoint overlay, producing an overlapping
+	// alias cover with measurably smaller maximum partitions. Sound per
+	// the Theorem 7 overlap semantics the cascade already supports;
+	// results may be strictly more precise than the default.
+	SteensPrecise bool
 	// Cache, when non-nil, warm-starts the per-cluster FSCS stage: before
 	// a cluster is dispatched to an engine its slice fingerprint is looked
 	// up, hits import the stored summary tables and points-to sets instead
@@ -153,10 +177,30 @@ type Config struct {
 // andersenOpts translates the config's solver knobs into Andersen
 // options, shared by the fallback analysis and the clustering solves.
 func (cfg Config) andersenOpts() []andersen.Option {
-	if cfg.DisableCycleElim {
-		return nil
+	var opts []andersen.Option
+	if !cfg.DisableCycleElim {
+		opts = append(opts, andersen.WithCycleElimination())
 	}
-	return []andersen.Option{andersen.WithCycleElimination()}
+	if !cfg.DisableDeltaProp {
+		opts = append(opts, andersen.WithDeltaPropagation())
+		if !cfg.DisableParSolve && cfg.Workers != 1 {
+			w := cfg.Workers
+			if w <= 0 {
+				w = runtime.GOMAXPROCS(0)
+			}
+			opts = append(opts, andersen.WithParallelSolve(w, cfg.ParSolveThreshold))
+		}
+	}
+	return opts
+}
+
+// steensOpts translates the config's partitioning knobs into Steensgaard
+// options.
+func (cfg Config) steensOpts() []steens.Option {
+	if cfg.SteensPrecise {
+		return []steens.Option{steens.Precise()}
+	}
+	return nil
 }
 
 // Timing records where the analysis spent its time, mirroring the columns
@@ -282,7 +326,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	// the cascade), plus function-pointer devirtualization.
 	t0 := time.Now()
 	sp := tr.Start("phase", "steensgaard", obs.TIDMain)
-	sa := steens.Analyze(prog)
+	sa := steens.Analyze(prog, cfg.steensOpts()...)
 	if frontend.HasIndirectCalls(prog) {
 		if err := frontend.Devirtualize(prog, func(_ ir.Loc, fp ir.VarID) []ir.FuncID {
 			return sa.Targets(fp)
@@ -290,7 +334,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 			sp.End()
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		sa = steens.Analyze(prog)
+		sa = steens.Analyze(prog, cfg.steensOpts()...)
 	}
 	a.Steens = sa
 	sp.Arg("partitions", sa.NumPartitions()).Arg("max_partition", sa.MaxPartitionSize()).End()
@@ -353,7 +397,8 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 
 	// The flow-insensitive fallback for imprecise FSCS paths.
 	sp = tr.Start("phase", "fallback", obs.TIDMain)
-	a.Andersen = andersen.Analyze(prog, cfg.andersenOpts()...)
+	a.Andersen = andersen.Analyze(prog,
+		append(cfg.andersenOpts(), andersen.WithTracer(tr, obs.TIDMain))...)
 	a.CallGraph = callgraph.Build(prog)
 	sp.End()
 	a.Andersen.SolverStats().Record(cfg.Metrics)
@@ -479,7 +524,8 @@ func (a *Analysis) runPipelined(ctx context.Context, prog *ir.Program, sa *steen
 	go func() {
 		defer close(fallbackReady)
 		sp := tr.Start("phase", "fallback", obs.TIDFallback)
-		a.Andersen = andersen.Analyze(prog, cfg.andersenOpts()...)
+		a.Andersen = andersen.Analyze(prog,
+			append(cfg.andersenOpts(), andersen.WithTracer(tr, obs.TIDFallback))...)
 		a.CallGraph = callgraph.Build(prog)
 		sp.End()
 	}()
@@ -598,9 +644,29 @@ func buildWithOneFlow(prog *ir.Program, sa *steens.Analysis, of *oneflow.Analysi
 	// Andersen treatment; correctness is unchanged (both are alias
 	// covers). When One-Flow refines an oversized partition into pieces
 	// within the threshold, those pieces are used directly.
+	// partKey identifies a partition by the base representative of its
+	// first non-sink member. Under the precise-Steensgaard overlapping
+	// cover, a multi-membership sink's Rep points at its *base* partition,
+	// so keying blindly by element 0 could collide two distinct expanded
+	// partitions and drop a needed Andersen cluster. Non-sink members are
+	// unambiguous; a group with no non-sink member (all overlay sinks)
+	// gets no key and is never replaced — keeping it is sound, merely
+	// redundant.
+	partKey := func(vs []ir.VarID) int {
+		for _, v := range vs {
+			if sa.SinkClasses(v) == nil {
+				return sa.Rep(v)
+			}
+		}
+		return -1
+	}
 	refined := map[int]bool{}
 	for _, part := range sa.Partitions() {
 		if len(part) <= threshold {
+			continue
+		}
+		key := partKey(part)
+		if key < 0 {
 			continue
 		}
 		pieces := of.Refine(part)
@@ -611,16 +677,17 @@ func buildWithOneFlow(prog *ir.Program, sa *steens.Analysis, of *oneflow.Analysi
 			}
 		}
 		if max <= threshold && len(pieces) > 1 {
-			rep := sa.Rep(part[0])
-			refined[rep] = true
+			refined[key] = true
 			for _, piece := range pieces {
 				out = append(out, cluster.New(prog, sa, len(out), cluster.KindOneFlow, piece))
 			}
 		}
 	}
 	for _, c := range andersenCover {
-		if len(c.Pointers) > 0 && refined[sa.Rep(c.Pointers[0])] && c.Kind == cluster.KindAndersen {
-			continue // replaced by One-Flow pieces
+		if len(c.Pointers) > 0 && c.Kind == cluster.KindAndersen {
+			if key := partKey(c.Pointers); key >= 0 && refined[key] {
+				continue // replaced by One-Flow pieces
+			}
 		}
 		cc := *c
 		cc.ID = len(out)

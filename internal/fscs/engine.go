@@ -140,6 +140,10 @@ type Engine struct {
 	ptsVR     map[uint64]*valueResult
 	ptsInProg map[uint64]bool
 
+	// Free list of walkBack traversal scratches (see walk.go). Walks nest
+	// through summary lookups, so each live walk checks one out.
+	scratch []*walkScratch
+
 	// hasAssumes is set when the cluster's slice contains path-sensitivity
 	// assume nodes; terminated walk tokens then keep walking backwards to
 	// collect the branch constraints guarding their path (Section 3's

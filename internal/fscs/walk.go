@@ -13,8 +13,9 @@ import (
 // call nodes, and returning the set of sources: tokens at f's entry (TVar)
 // or terminated sequences (TAddr / TNull / TUnknown).
 //
-// Conditions travel as interned CondIDs and worklist deduplication is a
-// comparable-struct set — no string keys anywhere on this path.
+// Conditions travel as interned CondIDs and worklist deduplication is an
+// epoch-stamped per-location bucket reused across walks — no string keys
+// and no per-walk map allocation anywhere on this path.
 //
 // lookup supplies callee exit summaries; during the recursion fixpoint it
 // returns the current (possibly still growing) tuple sets.
@@ -31,13 +32,8 @@ func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup f
 	}
 	entry := e.prog.Func(f).Entry
 
-	type item struct {
-		loc  ir.Loc
-		tok  Token
-		cond CondID
-	}
-	var work []item
-	seen := map[item]bool{}
+	s := e.getScratch()
+	defer e.putScratch(s)
 
 	record := func(t Token, c CondID) {
 		out.add(tup{tok: t, cond: c})
@@ -49,12 +45,18 @@ func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup f
 			record(t, c)
 			return
 		}
-		it := item{loc: loc, tok: t, cond: c}
-		if seen[it] {
-			return
+		if s.stamp[loc] != s.epoch {
+			s.stamp[loc] = s.epoch
+			s.bkt[loc] = s.bkt[loc][:0]
 		}
-		seen[it] = true
-		work = append(work, it)
+		b := s.bkt[loc]
+		for i := range b {
+			if b[i].tok == t && b[i].cond == c {
+				return
+			}
+		}
+		s.bkt[loc] = append(b, wbEntry{tok: t, cond: c})
+		s.work = append(s.work, wbItem{loc: loc, tok: t, cond: c})
 	}
 	if len(startLocs) == 0 {
 		// Querying at the function entry: the token's value is whatever it
@@ -66,12 +68,12 @@ func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup f
 		push(l, start, TrueCondID)
 	}
 
-	for len(work) > 0 {
+	for len(s.work) > 0 {
 		if !e.charge() {
 			return out
 		}
-		it := work[len(work)-1]
-		work = work[:len(work)-1]
+		it := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
 
 		outcomes := e.transfer(it.loc, it.tok, it.cond, lookup)
 		n := e.prog.Node(it.loc)
@@ -90,6 +92,64 @@ func (e *Engine) walkBack(f ir.FuncID, start Token, startLocs []ir.Loc, lookup f
 		}
 	}
 	return out
+}
+
+// wbItem is one walkBack worklist entry: a tracked token with its path
+// condition at a location.
+type wbItem struct {
+	loc  ir.Loc
+	tok  Token
+	cond CondID
+}
+
+// wbEntry is a (token, condition) pair in a per-location dedup bucket.
+type wbEntry struct {
+	tok  Token
+	cond CondID
+}
+
+// walkScratch is the reusable traversal state for one live walkBack. The
+// dedup set is an epoch-stamped bucket per location: a stale stamp means
+// the bucket logically starts empty this walk, so no clearing pass is
+// needed between walks, and membership is a linear scan of the small
+// per-location fan-in instead of hashing a 16-byte struct key. Profiles
+// showed the per-call map[item]bool — its allocation plus AES hashing —
+// dominating whole-cascade CPU.
+type walkScratch struct {
+	epoch uint32
+	stamp []uint32
+	bkt   [][]wbEntry
+	work  []wbItem
+}
+
+// getScratch pops a scratch off the engine's free list. walkBack re-enters
+// itself through summary lookups and FSCI value resolution, so each live
+// walk owns a scratch; the list depth matches the maximum nesting, which
+// stays small.
+func (e *Engine) getScratch() *walkScratch {
+	var s *walkScratch
+	if n := len(e.scratch); n > 0 {
+		s = e.scratch[n-1]
+		e.scratch = e.scratch[:n-1]
+	} else {
+		n := len(e.prog.Nodes)
+		s = &walkScratch{stamp: make([]uint32, n), bkt: make([][]wbEntry, n)}
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		// Stamp wrap-around: every stale stamp would look current, so force
+		// a full reset once per 2^32 walks.
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s
+}
+
+func (e *Engine) putScratch(s *walkScratch) {
+	s.work = s.work[:0]
+	e.scratch = append(e.scratch, s)
 }
 
 // outcome is one (token, condition) result of pushing a token backwards
