@@ -1,0 +1,39 @@
+package andersen
+
+import (
+	"testing"
+
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+)
+
+// Repro: complexDelta resets pending[v] for every node with a non-empty
+// wave delta, including bits seeded moments earlier in the same loop by
+// another node's addCopy.
+func TestDeltaPendingWipe(t *testing.T) {
+	src := `
+		int B, C;
+		int **p;
+		int *y, *w, *tt, *v6;
+		void main() {
+			p = &tt;
+			y = &B;
+			w = &C;
+			*p = y;
+			tt = w;
+			v6 = tt;
+		}
+	`
+	p, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Analyze(p)
+	delta := Analyze(p, WithDeltaPropagation())
+	for v := 0; v < p.NumVars(); v++ {
+		if !base.PointsToSet(ir.VarID(v)).Equal(delta.PointsToSet(ir.VarID(v))) {
+			t.Errorf("pts(%s) differs: base %v, delta %v",
+				p.VarName(ir.VarID(v)), base.PointsTo(ir.VarID(v)), delta.PointsTo(ir.VarID(v)))
+		}
+	}
+}
