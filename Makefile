@@ -19,7 +19,14 @@ BENCHTAB_ARGS = -rows $(BENCH_ROWS) -scale $(BENCH_SCALE) -cache-dir .benchcache
 SERVE_ADDR  = 127.0.0.1:7411
 SERVE_BENCH = sock
 
-.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench
+# The shard bench distributes the eager solve across worker processes
+# and gates on the coordinator's accounting: every cluster completed,
+# results bit-identical to a single-process solve, the eager-phase
+# speedup floor held, and work stealing never behind static binning.
+SHARD_ROWS  = autofs
+SHARD_SCALE = 0.5
+
+.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench shard-bench shard-baseline
 
 all: check
 
@@ -69,6 +76,18 @@ bench:
 # the performance shape on purpose.
 bench-baseline: bench
 	mv BENCH_fresh.json BENCH_fscs.json
+
+# shard-bench is CI's distributed-execution gate: a fresh 2-shard
+# work-stealing run (real worker processes over the shared result
+# cache) on one large workload, asserted for completion, bit-identity
+# and the speedup/steal floors. Cheap enough for every push.
+shard-bench:
+	$(GO) run ./cmd/benchtab -rows $(SHARD_ROWS) -scale $(SHARD_SCALE) -shards 2 -assert
+
+# shard-baseline re-measures the committed BENCH_shard.json: the full
+# shards 1/2/4/8 × steal/greedy sweep over the four large workloads.
+shard-baseline:
+	$(GO) run ./cmd/benchtab -scale $(SHARD_SCALE) -shard-json BENCH_shard.json -assert
 
 # serve-bench measures (and refreshes) BENCH_serve.json: boot the
 # daemon in the background, let aliasload wait for /readyz, run the

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bootstrap/internal/cache"
+	"bootstrap/internal/core"
+	"bootstrap/internal/dist"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/synth"
+)
+
+// TestWorkerDrainsCoordinator is the binary's smoke test: a hand-run
+// aliaswork session (the two-terminal workflow) must drain a live
+// coordinator's queue and publish importable results.
+func TestWorkerDrainsCoordinator(t *testing.T) {
+	b, ok := synth.FindBenchmark("sock")
+	if !ok {
+		t.Fatal("sock benchmark missing")
+	}
+	src := synth.Generate(b, 0.1)
+	cfg := core.Config{Mode: core.ModeAndersen, Workers: 1}
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.BuildPlan(context.Background(), prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	coord, err := dist.NewCoordinator(pl, src, dist.Options{
+		Shards:   1,
+		CacheDir: cacheDir,
+		Config:   cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	if err := run(coord.Addr(), "smoke", true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.WaitDrained(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r := coord.Report()
+	if r.Items == 0 || r.Completed != r.Items {
+		t.Fatalf("worker completed %d/%d items", r.Completed, r.Items)
+	}
+
+	// The published results must import: the merge pass sees cache hits.
+	mcfg := cfg
+	mcfg.Cache = cache.New(cache.Options{Dir: cacheDir})
+	a, err := core.AnalyzeFromPlan(context.Background(), pl, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheStats.Hits == 0 {
+		t.Fatalf("merge pass imported nothing: %+v", a.CacheStats)
+	}
+}
+
+// TestWorkerRejectsUnreachableCoordinator covers the error path a
+// mistyped URL takes.
+func TestWorkerRejectsUnreachableCoordinator(t *testing.T) {
+	if err := run("http://127.0.0.1:1", "smoke", false); err == nil {
+		t.Fatal("worker connected to nothing")
+	}
+}

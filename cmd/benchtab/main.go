@@ -27,6 +27,7 @@ import (
 
 	"bootstrap/internal/bench"
 	"bootstrap/internal/cliutil"
+	"bootstrap/internal/dist"
 	"bootstrap/internal/synth"
 )
 
@@ -47,18 +48,28 @@ var (
 	timings  = flag.Bool("timings", false, "also print per-stage timing columns (fixed cover order, diff-friendly)")
 	cacheDir = flag.String("cache-dir", "", "persistent directory for the per-cluster result cache; a second run against the same directory starts fully warm (cache_hit_rate 1.0)")
 
-	assert   = flag.Bool("assert", false, "bench-regression gate: compare -fresh against -baseline and exit non-zero on a >15% speedup regression or a cold warm-run cache")
+	assert   = flag.Bool("assert", false, "bench-regression gate: compare -fresh against -baseline and exit non-zero on a >15% speedup regression or a cold warm-run cache; with -shards N, instead run a fresh distributed sweep and assert its invariants (completion, bit-identity, speedup, steal vs greedy)")
 	baseline = flag.String("baseline", "BENCH_fscs.json", "committed baseline report for -assert")
 	fresh    = flag.String("fresh", "BENCH_fresh.json", "freshly measured report for -assert")
 
-	obsFlags cliutil.ObsFlags
+	shardJSON = flag.String("shard-json", "", "write the distributed-execution sweep (shards 1/2/4/8 × steal/greedy, per-shard utilization, eager speedup) to this file and exit")
+
+	obsFlags  cliutil.ObsFlags
+	distFlags cliutil.DistFlags
 )
+
+// shardBenchRows is the default suite of the -shard-json sweep: the
+// four largest BENCH_ROWS workloads, where sharding has enough cluster
+// weight to matter.
+const shardBenchRows = "sock,autofs,raid,mt_daapd"
 
 func init() {
 	obsFlags.Register(flag.CommandLine)
+	distFlags.Register(flag.CommandLine)
 }
 
 func main() {
+	dist.MaybeWorker() // spawned shard workers re-exec this binary
 	flag.Parse()
 	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -67,7 +78,7 @@ func main() {
 }
 
 func run(out io.Writer) (err error) {
-	if *assert {
+	if *assert && !distFlags.Enabled() && *shardJSON == "" {
 		return runAssert(out, *baseline, *fresh)
 	}
 	sess, err := obsFlags.Start()
@@ -115,6 +126,9 @@ func run(out io.Writer) (err error) {
 			suite = append(suite, b)
 		}
 	}
+	if *shardJSON != "" || distFlags.Enabled() {
+		return runShards(out, suite, opt)
+	}
 	if *fscsJSON != "" {
 		report, err := bench.FSCSPerf(suite, opt, *perfReps, os.Stderr)
 		if err != nil {
@@ -147,6 +161,60 @@ func run(out io.Writer) (err error) {
 	if *compare {
 		fmt.Fprintln(out, "\nPaper vs measured (shape comparison):")
 		fmt.Fprint(out, bench.FormatComparison(measured))
+	}
+	return nil
+}
+
+// runShards is the distributed-execution benchmark: sweep the shard
+// axis over the suite, optionally write BENCH_shard.json, and — under
+// -assert — gate on the sweep's invariants (every cell completed and
+// bit-identical, speedup floor at the top shard count, work stealing
+// never behind greedy binning).
+func runShards(out io.Writer, suite []synth.Benchmark, opt bench.Options) error {
+	if *rows == "" {
+		suite = nil
+		for _, name := range strings.Split(shardBenchRows, ",") {
+			b, _ := synth.FindBenchmark(name)
+			suite = append(suite, b)
+		}
+	}
+	counts := []int{1, 2, 4, 8}
+	if distFlags.Enabled() {
+		counts = []int{1, distFlags.Shards}
+		if distFlags.Shards == 1 {
+			counts = []int{1}
+		}
+	}
+	report, err := bench.ShardPerf(suite, counts, opt, os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Distributed eager solve (scale %.2f, busy = per-process CPU time):\n\n", *scale)
+	fmt.Fprint(out, bench.FormatShard(report))
+	if *shardJSON != "" {
+		f, err := os.Create(*shardJSON)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteShardJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s (%d workloads)\n", *shardJSON, len(report.Points))
+	}
+	if *assert {
+		errs := bench.AssertShard(report)
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchtab: shard gate:", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d shard invariant(s) violated", len(errs))
+		}
+		fmt.Fprintf(out, "\nshard gate: %d workloads completed, bit-identical, speedup and steal-vs-greedy floors held\n",
+			len(report.Points))
 	}
 	return nil
 }

@@ -82,12 +82,15 @@ func WithDeltaPropagation() Option {
 // below that the fan-out costs more than the propagation. Implies
 // WithDeltaPropagation.
 func WithParallelSolve(workers, threshold int) Option {
+	// Normalize before capturing: one Option value is applied by every
+	// concurrent clusterer solve, so the closure must not write its
+	// captured variables.
+	if threshold <= 0 {
+		threshold = DefaultParSolveThreshold
+	}
 	return func(c *config) {
 		c.delta = true
 		c.parWorkers = workers
-		if threshold <= 0 {
-			threshold = DefaultParSolveThreshold
-		}
 		c.parThreshold = threshold
 	}
 }

@@ -308,16 +308,22 @@ func (s *solver) runFrontParallel(front []int32) {
 
 // complexDelta feeds each node's wave delta to its complex constraints.
 // New edges added here (and the bits their one-time full transfer
-// contributes) mark the solver dirty, scheduling another round. The
-// pending set is cleared before consumption so bits re-added to v by
-// its own constraints survive into the next wave.
+// contributes) mark the solver dirty, scheduling another round. Every
+// consumed pending set is cleared up front, before any constraint runs:
+// addCopy seeds the *target's* pending, so an interleaved reset would
+// wipe bits seeded moments earlier by another node's constraints (and a
+// node's own re-added bits must survive into the next wave either way).
 func (s *solver) complexDelta() {
+	for _, v := range s.active {
+		if !s.out[v].Empty() {
+			s.pending[v].Reset()
+		}
+	}
 	for _, v := range s.active {
 		ov := s.out[v]
 		if ov.Empty() {
 			continue
 		}
-		s.pending[v].Reset()
 		ld, st := s.loads[v], s.stores[v]
 		cs := s.calls[int(v)]
 		if len(ld) == 0 && len(st) == 0 && cs == nil {

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"bootstrap/internal/dist"
+	"bootstrap/internal/synth"
+)
+
+// TestMain lets ShardPerf's spawned workers re-exec this test binary.
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// syntheticShardReport builds a report AssertShard should accept.
+func syntheticShardReport() *ShardPerfReport {
+	run := func(shards int, binning string, speedup float64) ShardRun {
+		return ShardRun{
+			Shards: shards, Binning: binning, Items: 10, Completed: 10,
+			EagerSpeedup: speedup, Identical: true,
+		}
+	}
+	point := func(name string) ShardPoint {
+		return ShardPoint{Bench: name, Runs: []ShardRun{
+			run(1, "steal", 1.0),
+			run(4, "steal", 3.2),
+			run(4, "greedy", 2.4),
+		}}
+	}
+	return &ShardPerfReport{
+		Scale:       0.5,
+		ShardCounts: []int{1, 4},
+		Points:      []ShardPoint{point("a"), point("b")},
+	}
+}
+
+func TestAssertShardAcceptsHealthyReport(t *testing.T) {
+	if errs := AssertShard(syntheticShardReport()); len(errs) != 0 {
+		t.Fatalf("healthy report rejected: %v", errs)
+	}
+}
+
+func TestAssertShardCatchesViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*ShardPerfReport)
+		want   string
+	}{
+		{"lost items", func(r *ShardPerfReport) { r.Points[0].Runs[1].Completed = 8 }, "accounted for"},
+		{"divergence", func(r *ShardPerfReport) { r.Points[1].Runs[1].Identical = false }, "diverged"},
+		{"slow stealing", func(r *ShardPerfReport) { r.Points[0].Runs[1].EagerSpeedup = 1.9 }, "fell behind"},
+		{"speedup floor", func(r *ShardPerfReport) {
+			for i := range r.Points {
+				r.Points[i].Runs[1].EagerSpeedup = 2.0 // < 0.625 * 4
+			}
+		}, "on only"},
+	} {
+		r := syntheticShardReport()
+		tc.mutate(r)
+		errs := AssertShard(r)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error containing %q in %v", tc.name, tc.want, errs)
+		}
+	}
+}
+
+func TestShardJSONRoundTrip(t *testing.T) {
+	report := syntheticShardReport()
+	var buf bytes.Buffer
+	if err := WriteShardJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.CreateTemp(t.TempDir(), "shard-*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(f, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadShardJSONFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 || back.Points[0].Runs[1].EagerSpeedup != 3.2 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+// TestShardPerfSweepSmall runs the real sweep — worker processes, cold
+// caches, identity checks — on one small workload.
+func TestShardPerfSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	b, _ := synth.FindBenchmark("sock")
+	report, err := ShardPerf([]synth.Benchmark{b}, []int{1, 2}, Options{Scale: 0.1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 1 || len(report.Points[0].Runs) != 3 {
+		t.Fatalf("unexpected report shape: %+v", report)
+	}
+	for _, run := range report.Points[0].Runs {
+		if !run.Identical {
+			t.Errorf("shards=%d %s: not bit-identical", run.Shards, run.Binning)
+		}
+		if run.Completed != run.Items {
+			t.Errorf("shards=%d %s: completed %d/%d", run.Shards, run.Binning, run.Completed, run.Items)
+		}
+	}
+}

@@ -277,14 +277,36 @@ func (c *Cache) readDisk(k Key) ([]byte, bool) {
 }
 
 // writeDisk stores one disk entry atomically (temp file + rename) so a
-// crash never leaves a half-written entry under the final name. Errors
-// are swallowed: the disk tier is an optimization, not a requirement.
+// crash never leaves a half-written entry under the final name — a
+// reader racing a writer sees either the complete old file or the
+// complete new one, never a torn entry, and concurrent writers of the
+// same key are harmless because content addressing makes their payloads
+// identical. Errors are swallowed: the disk tier is an optimization,
+// not a requirement.
+//
+// The tier is multi-process safe by construction, and two cheap guards
+// keep a shard fleet from stampeding: entries are immutable once
+// renamed into place, so an existing file short-circuits the write
+// entirely, and a non-blocking flock on a per-key sidecar skips the
+// write when another process is already mid-store of the same content.
 func (c *Cache) writeDisk(k Key, data []byte) {
 	if c.opts.Dir == "" {
 		return
 	}
+	path := c.path(k)
+	if _, err := os.Stat(path); err == nil {
+		return // immutable entry already published (by us or a peer)
+	}
 	if err := os.MkdirAll(c.opts.Dir, 0o755); err != nil {
 		return
+	}
+	unlock, ok := tryLockKey(path)
+	if !ok {
+		return // a peer process is writing these exact bytes right now
+	}
+	defer unlock()
+	if _, err := os.Stat(path); err == nil {
+		return // the peer won the lock race and already published
 	}
 	buf := encodeEntry(k, data)
 	tmp, err := os.CreateTemp(c.opts.Dir, "put-*")
@@ -298,7 +320,7 @@ func (c *Cache) writeDisk(k Key, data []byte) {
 		os.Remove(name)
 		return
 	}
-	if err := os.Rename(name, c.path(k)); err != nil {
+	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 	}
 }

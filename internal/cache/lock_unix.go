@@ -1,0 +1,32 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package cache
+
+import (
+	"os"
+	"syscall"
+)
+
+// tryLockKey takes a non-blocking advisory flock on the entry's ".lock"
+// sidecar. Failure to acquire means another process is mid-store of the
+// same content-addressed entry, so the caller can skip its own write.
+// Any error (filesystem without flock, permission) degrades to "locked
+// by nobody": the write proceeds, and temp-file + atomic rename keeps
+// it safe regardless — the lock only dedupes effort, it never guards
+// correctness. Sidecars are tiny, immutable and reused for the entry's
+// whole lifetime, so they are never unlinked (unlinking a held lock
+// file is the classic three-process flock race).
+func tryLockKey(path string) (unlock func(), ok bool) {
+	f, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return func() {}, true
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, false
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, true
+}

@@ -292,217 +292,53 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, cfg Config) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.AndersenThreshold == 0 {
-		cfg.AndersenThreshold = cluster.DefaultAndersenThreshold
-	}
-
-	a := &Analysis{
-		Prog:        prog,
-		cfg:         cfg,
-		engines:     map[int]*fscs.Engine{},
-		selected:    map[int]*cluster.Cluster{},
-		byPointer:   map[ir.VarID][]int{},
-		solving:     map[int]*inflight{},
-		queryHealth: map[int]ClusterHealth{},
-	}
-	var cacheBefore cache.Stats
-	if cfg.Cache != nil {
-		cacheBefore = cfg.Cache.Stats()
-	}
-	finish := func() *Analysis {
-		if cfg.Cache != nil {
-			a.CacheStats = cfg.Cache.Stats().Sub(cacheBefore)
-		}
-		return a
-	}
-
-	tr := cfg.Tracer
-	tr.NameThread(obs.TIDMain, "cascade")
-
-	// Stage 0: Steensgaard over the whole program (the scalable base of
-	// the cascade), plus function-pointer devirtualization.
-	t0 := time.Now()
-	sp := tr.Start("phase", "steensgaard", obs.TIDMain)
-	sa := steens.Analyze(prog, cfg.steensOpts()...)
-	if frontend.HasIndirectCalls(prog) {
-		if err := frontend.Devirtualize(prog, func(_ ir.Loc, fp ir.VarID) []ir.FuncID {
-			return sa.Targets(fp)
-		}); err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		sa = steens.Analyze(prog, cfg.steensOpts()...)
-	}
-	a.Steens = sa
-	sp.Arg("partitions", sa.NumPartitions()).Arg("max_partition", sa.MaxPartitionSize()).End()
-	sa.Record(cfg.Metrics)
-	a.Timing.Steensgaard = time.Since(t0)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
-	}
-
-	// Optional middle stage: One-Level Flow. Its only framework role is
-	// to refine the "oversized" judgement: partitions whose One-Flow
-	// refinement is already small skip Andersen clustering.
-	var of *oneflow.Analysis
-	if cfg.UseOneFlow {
-		t := time.Now()
-		sp := tr.Start("phase", "oneflow", obs.TIDMain)
-		of = oneflow.AnalyzeWith(prog, sa)
-		sp.End()
-		a.Timing.OneFlow = time.Since(t)
-	}
+	planDefaults(&cfg)
 
 	// The eager full-bootstrap cascade runs pipelined by default: clusters
 	// stream from the cover builder straight into the FSCS workers instead
-	// of waiting for the whole cover. Every other configuration (other
-	// modes, One-Flow refinement, lazy mode, DisablePipelining) takes the
-	// serial barrier path below.
-	if cfg.Mode == ModeAndersen && of == nil && !cfg.DisablePipelining && !cfg.Lazy {
+	// of waiting for the whole cover, and the fallback runs concurrently.
+	// Every other configuration (other modes, One-Flow refinement, lazy
+	// mode, DisablePipelining) takes the serial BuildPlan +
+	// AnalyzeFromPlan path below.
+	if cfg.Mode == ModeAndersen && !cfg.UseOneFlow && !cfg.DisablePipelining && !cfg.Lazy {
+		a := newAnalysis(prog, cfg)
+		var cacheBefore cache.Stats
+		if cfg.Cache != nil {
+			cacheBefore = cfg.Cache.Stats()
+		}
+		tr := cfg.Tracer
+		tr.NameThread(obs.TIDMain, "cascade")
+
+		// Stage 0: Steensgaard over the whole program (the scalable base
+		// of the cascade), plus function-pointer devirtualization.
+		t0 := time.Now()
+		sp := tr.Start("phase", "steensgaard", obs.TIDMain)
+		sa, err := steensFront(prog, cfg)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		a.Steens = sa
+		sp.Arg("partitions", sa.NumPartitions()).Arg("max_partition", sa.MaxPartitionSize()).End()
+		sa.Record(cfg.Metrics)
+		a.Timing.Steensgaard = time.Since(t0)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: analysis cancelled: %w", err)
+		}
 		if _, err := a.runPipelined(ctx, prog, sa, cfg); err != nil {
 			return nil, err
 		}
-		return finish(), nil
+		if cfg.Cache != nil {
+			a.CacheStats = cfg.Cache.Stats().Sub(cacheBefore)
+		}
+		return a, nil
 	}
 
-	// Stage 1: build the alias cover.
-	t1 := time.Now()
-	sp = tr.Start("phase", "clustering", obs.TIDMain).Arg("mode", cfg.Mode.String())
-	switch cfg.Mode {
-	case ModeNone:
-		a.Clusters = []*cluster.Cluster{cluster.BuildWhole(prog, sa)}
-	case ModeSteensgaard:
-		a.Clusters = cluster.BuildSteensgaard(prog, sa)
-	case ModeAndersen:
-		threshold := cfg.AndersenThreshold
-		if of != nil {
-			a.Clusters = buildWithOneFlow(prog, sa, of, threshold, cfg.andersenOpts())
-		} else {
-			a.Clusters = cluster.BuildAndersen(prog, sa, threshold, cfg.andersenOpts()...)
-		}
-	case ModeSyntactic:
-		a.Clusters = cluster.BuildSyntactic(prog, sa)
-	default:
-		sp.End()
-		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	pl, err := BuildPlan(ctx, prog, cfg)
+	if err != nil {
+		return nil, err
 	}
-	sp.Arg("clusters", len(a.Clusters)).End()
-	a.Timing.Clustering = time.Since(t1)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
-	}
-
-	// The flow-insensitive fallback for imprecise FSCS paths.
-	sp = tr.Start("phase", "fallback", obs.TIDMain)
-	a.Andersen = andersen.Analyze(prog,
-		append(cfg.andersenOpts(), andersen.WithTracer(tr, obs.TIDMain))...)
-	a.CallGraph = callgraph.Build(prog)
-	sp.End()
-	a.Andersen.SolverStats().Record(cfg.Metrics)
-
-	// Demand-driven selection, then the hybrid size cut-off: oversized
-	// clusters keep the cheap flow-insensitive answer.
-	work := a.Clusters
-	if cfg.Demand != nil {
-		work = cluster.SelectClusters(a.Clusters, prog, cfg.Demand)
-	}
-	if cfg.HybridSizeLimit > 0 {
-		kept := work[:0:0]
-		for _, c := range work {
-			if c.Size() <= cfg.HybridSizeLimit {
-				kept = append(kept, c)
-			}
-		}
-		work = kept
-	}
-	for _, c := range work {
-		a.selected[c.ID] = c
-		for _, p := range c.Pointers {
-			a.byPointer[p] = append(a.byPointer[p], c.ID)
-		}
-	}
-
-	if cfg.Lazy {
-		// Engines are created (and compute) on first query.
-		return finish(), nil
-	}
-
-	// Stage 2: the precise per-cluster FSCS analyses, in parallel, under
-	// the fault-tolerant scheduler: each cluster gets a wall-clock
-	// deadline and panic isolation, and on failure walks the degradation
-	// ladder (retry with halved knobs, then demote to the fallback) so
-	// one hard or broken cluster degrades only itself, never the run.
-	runCtx := ctx
-	if cfg.RunTimeout > 0 {
-		var cancel context.CancelFunc
-		runCtx, cancel = context.WithTimeout(ctx, cfg.RunTimeout)
-		defer cancel()
-	}
-	a.Timing.PerCluster = make([]time.Duration, len(work))
-	engines := make([]*fscs.Engine, len(work))
-	healths := make([]ClusterHealth, len(work))
-
-	tw := time.Now()
-	fsp := tr.Start("phase", "fscs", obs.TIDMain).
-		Arg("clusters", len(work)).Arg("workers", cfg.Workers)
-	if cfg.Workers == 1 {
-		// Single-worker runs execute inline in cover order — no goroutine
-		// scheduling, so a Workers=1 run (and its trace) is deterministic.
-		tr.NameThread(obs.WorkerTID(0), "fscs-worker-0")
-		wctx := obs.ContextWithWorker(runCtx, 0)
-		for i, c := range work {
-			engines[i], healths[i] = RunCluster(wctx, prog, a.CallGraph, sa, c, a.Andersen, cfg)
-			a.Timing.PerCluster[i] = healths[i].Elapsed
-		}
-	} else {
-		// Workers are identities, not just permits: each goroutine borrows
-		// a worker id from the pool so its spans land on that worker's
-		// trace track, and the pool's capacity bounds the parallelism the
-		// way the former semaphore did.
-		var wg sync.WaitGroup
-		ids := make(chan int, cfg.Workers)
-		for w := 0; w < cfg.Workers; w++ {
-			ids <- w
-			tr.NameThread(obs.WorkerTID(w), fmt.Sprintf("fscs-worker-%d", w))
-		}
-		for i, c := range work {
-			wg.Add(1)
-			go func(i int, c *cluster.Cluster) {
-				defer wg.Done()
-				w := <-ids
-				defer func() { ids <- w }()
-				wctx := obs.ContextWithWorker(runCtx, w)
-				engines[i], healths[i] = RunCluster(wctx, prog, a.CallGraph, sa, c, a.Andersen, cfg)
-				a.Timing.PerCluster[i] = healths[i].Elapsed
-			}(i, c)
-		}
-		wg.Wait()
-	}
-	a.Timing.Wall = time.Since(tw)
-	fsp.End()
-	if err := ctx.Err(); err != nil {
-		// Explicit caller cancellation aborts; cfg deadlines never land
-		// here (runCtx expiring only degrades clusters).
-		return nil, fmt.Errorf("core: analysis cancelled: %w", err)
-	}
-	for i, c := range work {
-		if engines[i] != nil {
-			a.engines[c.ID] = engines[i]
-		} else {
-			// Permanently demoted: queries on this cluster's pointers
-			// answer from the Andersen fallback (the HybridSizeLimit
-			// path, generalized). Deselect it so lazy queries cannot
-			// resurrect the engine.
-			delete(a.selected, c.ID)
-		}
-		a.Timing.FSCS += a.Timing.PerCluster[i]
-		a.Health = append(a.Health, healths[i])
-	}
-	sort.Slice(a.Health, func(i, j int) bool { return a.Health[i].ClusterID < a.Health[j].ClusterID })
-	return finish(), nil
+	return AnalyzeFromPlan(ctx, pl, cfg)
 }
 
 // runPipelined is the overlapped eager ModeAndersen cascade: the Andersen

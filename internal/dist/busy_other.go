@@ -1,0 +1,11 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package dist
+
+import "time"
+
+var busyEpoch = time.Now()
+
+// processCPUNS falls back to wall clock where rusage is unavailable;
+// the speedup report is then load-dependent rather than CPU-true.
+func processCPUNS() int64 { return time.Since(busyEpoch).Nanoseconds() }

@@ -1,0 +1,20 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package dist
+
+import "syscall"
+
+// processCPUNS returns this process's consumed CPU time (user + system)
+// in nanoseconds. Deltas around a cluster solve give its true cost
+// independent of how many worker processes are time-slicing the same
+// cores — which is what makes the speedup report machine-independent.
+func processCPUNS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toNS := func(tv syscall.Timeval) int64 {
+		return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+	}
+	return toNS(ru.Utime) + toNS(ru.Stime)
+}

@@ -1,0 +1,352 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"bootstrap/internal/core"
+	"bootstrap/internal/obs"
+)
+
+// DefaultLeaseTTL is the lease duration when Options.LeaseTTL is zero.
+// Long enough that a healthy worker solving a heavy cluster (with the
+// renewal goroutine extending at TTL/3) never expires; short enough
+// that a killed worker's clusters come back quickly.
+const DefaultLeaseTTL = 5 * time.Second
+
+// Options configure a Coordinator.
+type Options struct {
+	// Shards is the number of greedy bins / worker slots (>= 1).
+	Shards int
+	// Binning picks static greedy bins or greedy-seeded work stealing
+	// (the default).
+	Binning Binning
+	// LeaseTTL is the claim lease duration (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// CacheDir is the shared result-cache directory workers publish
+	// into. Required: it is the only result channel.
+	CacheDir string
+	// Config is the analysis configuration; its wire subset is served to
+	// workers, and its Tracer/Metrics receive the coordinator's
+	// dist_* instrumentation.
+	Config core.Config
+	// Addr is the listen address (default "127.0.0.1:0": loopback,
+	// kernel-assigned port).
+	Addr string
+}
+
+// Coordinator owns the lease queue for one program's eager phase and
+// serves it over HTTP. Create with NewCoordinator, hand workers
+// Addr(), then WaitDrained and run the merge pass
+// (core.AnalyzeFromPlan with the same CacheDir).
+type Coordinator struct {
+	opts     Options
+	source   string
+	manifest Manifest
+	q        *queue
+	srv      *http.Server
+	ln       net.Listener
+	started  time.Time
+
+	mu      sync.Mutex
+	shards  map[string]int // worker name -> shard
+	joined  int
+	perSh   []ShardReport
+	spans   map[int]*obs.Span // cluster -> open lease span
+	drained chan struct{}
+	once    sync.Once
+}
+
+// NewCoordinator builds the work manifest from a plan and starts
+// serving the queue. source must be the exact text the plan was built
+// from — workers rebuild the plan from it.
+func NewCoordinator(pl *core.Plan, source string, opts Options) (*Coordinator, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Binning == "" {
+		opts.Binning = BinningSteal
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.CacheDir == "" {
+		return nil, fmt.Errorf("dist: coordinator requires a cache dir (the result channel)")
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	wc := WireFromConfig(opts.Config)
+	c := &Coordinator{
+		opts:    opts,
+		source:  source,
+		q:       newQueue(pl.Clusters, opts.Shards, opts.Binning, opts.LeaseTTL),
+		shards:  map[string]int{},
+		perSh:   make([]ShardReport, opts.Shards),
+		spans:   map[int]*obs.Span{},
+		drained: make(chan struct{}),
+		started: time.Now(),
+	}
+	for s := range c.perSh {
+		c.perSh[s].Shard = s
+		opts.Config.Tracer.NameThread(obs.ShardTID(s), fmt.Sprintf("dist-shard-%d", s))
+	}
+	c.manifest = Manifest{
+		Fingerprint: Fingerprint(source, wc),
+		Shards:      opts.Shards,
+		Binning:     opts.Binning,
+		LeaseTTLMS:  opts.LeaseTTL.Milliseconds(),
+		CacheDir:    opts.CacheDir,
+		Config:      wc,
+		Items:       c.q.manifestItems(),
+	}
+	if len(c.manifest.Items) == 0 {
+		c.once.Do(func() { close(c.drained) })
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /dist/manifest", c.handleManifest)
+	mux.HandleFunc("GET /dist/program", c.handleProgram)
+	mux.HandleFunc("POST /dist/join", c.handleJoin)
+	mux.HandleFunc("POST /dist/claim", c.handleClaim)
+	mux.HandleFunc("POST /dist/complete", c.handleComplete)
+	mux.HandleFunc("POST /dist/renew", c.handleRenew)
+	mux.HandleFunc("GET /dist/status", c.handleStatus)
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	c.ln = ln
+	c.srv = &http.Server{Handler: mux}
+	go c.srv.Serve(ln)
+	return c, nil
+}
+
+// Addr returns the coordinator's URL (http://host:port).
+func (c *Coordinator) Addr() string { return "http://" + c.ln.Addr().String() }
+
+// Fingerprint returns the manifest fingerprint.
+func (c *Coordinator) Fingerprint() string { return c.manifest.Fingerprint }
+
+// Close stops serving. Leases die with the coordinator; the merge pass
+// handles whatever was not completed.
+func (c *Coordinator) Close() error { return c.srv.Close() }
+
+// WaitDrained blocks until every item is done or abandoned — the
+// moment the merge pass may start. A nil channel receive on ctx.Done
+// aborts early.
+func (c *Coordinator) WaitDrained(ctx interface{ Done() <-chan struct{} }) error {
+	// The drained channel closes on the complete/claim path; leases
+	// expiring with no worker left to claim would stall it, so poll the
+	// queue as a fallback reaper.
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.drained:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("dist: drain aborted")
+		case <-tick.C:
+			c.noteExpired(c.q.reap())
+			c.checkDrained()
+		}
+	}
+}
+
+func (c *Coordinator) checkDrained() {
+	if c.q.done() {
+		c.once.Do(func() { close(c.drained) })
+	}
+}
+
+// Report returns the run's accounting. Call after WaitDrained.
+func (c *Coordinator) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.q.mu.Lock()
+	r := Report{
+		Shards:      c.opts.Shards,
+		Binning:     c.opts.Binning,
+		Items:       len(c.q.items),
+		Completed:   int(c.q.completions),
+		Abandoned:   int(c.q.abandoned),
+		Steals:      c.q.steals,
+		Expirations: c.q.expirations,
+		Workers:     c.joined,
+		WallNS:      time.Since(c.started).Nanoseconds(),
+		PerShard:    append([]ShardReport(nil), c.perSh...),
+	}
+	c.q.mu.Unlock()
+	r.finalize()
+	return r
+}
+
+func (c *Coordinator) metrics() *obs.Metrics { return c.opts.Config.Metrics }
+func (c *Coordinator) tracer() *obs.Tracer   { return c.opts.Config.Tracer }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.manifest)
+}
+
+func (c *Coordinator) handleProgram(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, c.source)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Fingerprint != c.manifest.Fingerprint {
+		http.Error(w, "fingerprint mismatch (worker built a different plan)", http.StatusConflict)
+		return
+	}
+	c.mu.Lock()
+	shard, ok := c.shards[req.Worker]
+	if !ok {
+		shard = c.joined % c.opts.Shards
+		c.shards[req.Worker] = shard
+		c.joined++
+		c.perSh[shard].Workers++
+	}
+	c.mu.Unlock()
+	c.metrics().Counter("bootstrap_dist_workers_joined_total",
+		"workers that joined the distributed eager phase").Add(1)
+	writeJSON(w, JoinResponse{Shard: shard})
+}
+
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	res := c.q.claim(req.Worker, req.Shard)
+	c.noteExpired(res.expired)
+	switch res.status {
+	case "work":
+		it := res.item
+		c.mu.Lock()
+		c.perSh[req.Shard].Claims++
+		if it.stolen {
+			c.perSh[req.Shard].Steals++
+		}
+		// One lease span per item on the claiming shard's track, closed
+		// on complete or expiry — the Perfetto view of who ran what.
+		c.spans[it.Cluster] = c.tracer().Start("dist", fmt.Sprintf("lease-%d", it.Cluster), obs.ShardTID(req.Shard)).
+			Arg("cluster", it.Cluster).Arg("worker", req.Worker).
+			Arg("stolen", it.stolen).Arg("attempt", it.attempts)
+		c.mu.Unlock()
+		c.metrics().Counter("bootstrap_dist_claims_total",
+			"cluster leases issued to shard workers").Add(1)
+		if it.stolen {
+			c.metrics().Counter("bootstrap_dist_steals_total",
+				"leases stolen from another shard's bin").Add(1)
+		}
+		writeJSON(w, ClaimResponse{
+			Status:  "work",
+			Cluster: it.Cluster,
+			Lease:   it.lease,
+			TTLMS:   c.opts.LeaseTTL.Milliseconds(),
+			Stolen:  it.stolen,
+		})
+	case "wait":
+		writeJSON(w, ClaimResponse{Status: "wait", RetryMS: claimWait.Milliseconds()})
+	default:
+		c.checkDrained()
+		writeJSON(w, ClaimResponse{Status: "done"})
+	}
+}
+
+// noteExpired books lease expirations observed by a claim's reap pass.
+func (c *Coordinator) noteExpired(clusterIdx []int) {
+	if len(clusterIdx) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, i := range clusterIdx {
+		id := c.q.items[i].Cluster
+		if sp := c.spans[id]; sp != nil {
+			sp.Arg("expired", true).End()
+			delete(c.spans, id)
+		}
+	}
+	c.mu.Unlock()
+	c.metrics().Counter("bootstrap_dist_lease_expirations_total",
+		"leases that expired before completion (lost or hung workers)").Add(int64(len(clusterIdx)))
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !c.q.complete(req) {
+		// Stale lease: the item expired and moved on. Harmless — the
+		// worker's cache store (if any) is still valid content.
+		http.Error(w, "stale lease", http.StatusConflict)
+		return
+	}
+	c.mu.Lock()
+	shard, ok := c.shards[req.Worker]
+	if ok {
+		c.perSh[shard].Completions++
+		c.perSh[shard].BusyNS += req.BusyNS
+	}
+	if sp := c.spans[req.Cluster]; sp != nil {
+		sp.Arg("outcome", req.Outcome).Arg("busy_ns", req.BusyNS).Arg("stored", req.Stored).End()
+		delete(c.spans, req.Cluster)
+	}
+	c.mu.Unlock()
+	c.metrics().Counter("bootstrap_dist_completions_total",
+		"cluster leases completed by shard workers").Add(1)
+	writeJSON(w, Ack{OK: true})
+	c.checkDrained()
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	// Renewal is keyed by lease alone; find its cluster.
+	c.q.mu.Lock()
+	cl, found := -1, false
+	for _, it := range c.q.items {
+		if it.state == stateLeased && it.lease == req.Lease {
+			cl, found = it.Cluster, true
+			break
+		}
+	}
+	c.q.mu.Unlock()
+	if found {
+		found = c.q.renew(cl, req.Lease)
+	}
+	if !found {
+		http.Error(w, "stale lease", http.StatusConflict)
+		return
+	}
+	writeJSON(w, Ack{OK: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Report())
+}

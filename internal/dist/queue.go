@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"bootstrap/internal/cluster"
+)
+
+// itemState is the lease state machine of one work item:
+//
+//	pending ──claim──▶ leased ──complete──▶ done
+//	   ▲                  │
+//	   └──lease expired───┘   (attempts++, re-issued to the next claimer)
+//
+// after maxLeases expirations the item goes abandoned: the coordinator
+// stops handing it out and the merge pass solves it locally.
+type itemState uint8
+
+const (
+	statePending itemState = iota
+	stateLeased
+	stateDone
+	stateAbandoned
+)
+
+// maxLeases bounds how often an item is re-issued after lease expiry
+// before the coordinator gives up on the fleet for it. It mirrors the
+// scheduler's retry-then-demote ladder one level up: retry the cluster
+// on (presumably) another worker, then demote it to local solving.
+const maxLeases = 3
+
+type queueItem struct {
+	Item
+	state    itemState
+	attempts int   // leases issued so far
+	lease    int64 // current lease ID while leased
+	worker   string
+	expiry   time.Time
+	busyNS   int64 // reported by the completing worker
+	stolen   bool  // completed via a steal
+	outcome  string
+}
+
+// queue is the coordinator's lease queue: the greedy bins, the lease
+// state machine, and the steal policy. All methods are safe for
+// concurrent use; time is injectable for deterministic expiry tests.
+type queue struct {
+	mu      sync.Mutex
+	items   []*queueItem // indexed by position, not cluster ID
+	byID    map[int]int  // cluster ID -> items index
+	bins    [][]int      // per shard: item indexes, largest-first claim order
+	binning Binning
+	ttl     time.Duration
+	leaseID int64
+	now     func() time.Time
+
+	// aggregate counters (guarded by mu)
+	claims      int64
+	steals      int64
+	completions int64
+	expirations int64
+	abandoned   int64
+}
+
+// GreedyBins is the paper's static binning heuristic: walk the clusters
+// in cover order accumulating pointer counts, and close a bin once it
+// holds at least 1/k of the total — the simulated-multiple-machines
+// partitioning of the paper's Section 5. The last bin takes the
+// remainder. Exported for the benchmark table, which reports bin skew.
+func GreedyBins(clusters []*cluster.Cluster, k int) [][]int {
+	bins := make([][]int, k)
+	if len(clusters) == 0 {
+		return bins
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Size()
+	}
+	per := total / k
+	if per == 0 {
+		per = 1
+	}
+	bin, acc := 0, 0
+	for i, c := range clusters {
+		bins[bin] = append(bins[bin], i)
+		acc += c.Size()
+		if acc >= per && bin < k-1 {
+			bin, acc = bin+1, 0
+		}
+	}
+	return bins
+}
+
+// newQueue builds the queue over a plan's clusters. The items slice is
+// parallel to clusters (cover order); bins index into it.
+func newQueue(clusters []*cluster.Cluster, shards int, binning Binning, ttl time.Duration) *queue {
+	q := &queue{
+		byID:    make(map[int]int, len(clusters)),
+		bins:    GreedyBins(clusters, shards),
+		binning: binning,
+		ttl:     ttl,
+		now:     time.Now,
+	}
+	q.items = make([]*queueItem, len(clusters))
+	for i, c := range clusters {
+		q.items[i] = &queueItem{Item: Item{Cluster: c.ID, Size: c.Size()}}
+		q.byID[c.ID] = i
+	}
+	for b, idxs := range q.bins {
+		// Largest-first within a bin: expensive clusters start earliest,
+		// which shortens the critical path under both policies.
+		sort.SliceStable(idxs, func(x, y int) bool {
+			return q.items[idxs[x]].Size > q.items[idxs[y]].Size
+		})
+		for _, i := range idxs {
+			q.items[i].Bin = b
+		}
+	}
+	return q
+}
+
+// manifestItems returns the items in cover order for the manifest.
+func (q *queue) manifestItems() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Item, len(q.items))
+	for i, it := range q.items {
+		out[i] = it.Item
+	}
+	return out
+}
+
+// reapExpired walks leased items and returns expired ones to pending
+// (or abandons them past maxLeases). Caller holds q.mu.
+func (q *queue) reapExpired(now time.Time) (expired []int) {
+	for i, it := range q.items {
+		if it.state == stateLeased && now.After(it.expiry) {
+			q.expirations++
+			it.lease, it.worker = 0, ""
+			if it.attempts >= maxLeases {
+				it.state = stateAbandoned
+				q.abandoned++
+			} else {
+				it.state = statePending
+			}
+			expired = append(expired, i)
+		}
+	}
+	return expired
+}
+
+// reap returns expired leases to pending (or abandons them) without
+// claiming anything — the coordinator's drain poll, which must never
+// lease work to itself.
+func (q *queue) reap() (expired []int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.reapExpired(q.now())
+}
+
+// pendingIn returns the index of the first pending item of bin b, or -1.
+// Caller holds q.mu.
+func (q *queue) pendingIn(b int) int {
+	for _, i := range q.bins[b] {
+		if q.items[i].state == statePending {
+			return i
+		}
+	}
+	return -1
+}
+
+// claimResult is what claim hands the coordinator to answer a worker.
+type claimResult struct {
+	status  string // "work" | "wait" | "done"
+	item    *queueItem
+	expired []int // items whose leases were reaped by this claim
+}
+
+// claim issues the next lease to a worker serving shard. Policy: reap
+// expired leases first; take the largest pending item of the home bin;
+// under BinningSteal, when the home bin is dry, steal the largest
+// pending item from the bin with the most pending weight. "wait" means
+// everything reachable is currently leased; "done" means nothing this
+// worker could ever receive remains.
+func (q *queue) claim(worker string, shard int) claimResult {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	expired := q.reapExpired(now)
+	if shard < 0 || shard >= len(q.bins) {
+		shard = 0
+	}
+
+	pick, stolen := q.pendingIn(shard), false
+	if pick < 0 && q.binning == BinningSteal {
+		// Steal from the bin with the most pending pointer weight — the
+		// fullest victim levels fastest.
+		best, bestWeight := -1, 0
+		for b := range q.bins {
+			if b == shard {
+				continue
+			}
+			w := 0
+			for _, i := range q.bins[b] {
+				if q.items[i].state == statePending {
+					w += q.items[i].Size
+				}
+			}
+			if w > bestWeight {
+				best, bestWeight = b, w
+			}
+		}
+		if best >= 0 {
+			pick, stolen = q.pendingIn(best), true
+		}
+	}
+	if pick < 0 {
+		// Nothing pending in reach: distinguish "all done/abandoned"
+		// from "leased out elsewhere, come back".
+		open := false
+		for _, it := range q.items {
+			if it.state == statePending || it.state == stateLeased {
+				open = true
+				break
+			}
+		}
+		if open {
+			return claimResult{status: "wait", expired: expired}
+		}
+		return claimResult{status: "done", expired: expired}
+	}
+
+	it := q.items[pick]
+	q.leaseID++
+	it.state = stateLeased
+	it.lease = q.leaseID
+	it.worker = worker
+	it.expiry = now.Add(q.ttl)
+	it.attempts++
+	it.stolen = stolen
+	q.claims++
+	if stolen {
+		q.steals++
+	}
+	return claimResult{status: "work", item: it, expired: expired}
+}
+
+// renew extends a live lease by one TTL. A stale lease (expired and
+// possibly re-issued) renews nothing.
+func (q *queue) renew(cluster int, lease int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i, ok := q.byID[cluster]
+	if !ok {
+		return false
+	}
+	it := q.items[i]
+	if it.state != stateLeased || it.lease != lease {
+		return false
+	}
+	it.expiry = q.now().Add(q.ttl)
+	return true
+}
+
+// complete finishes a leased item. Stale leases are rejected: if the
+// lease expired and the item was re-issued (or already completed by a
+// successor), the late worker's result is ignored — the cache made the
+// duplicate solve harmless, but the accounting must not double-count.
+func (q *queue) complete(req CompleteRequest) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i, ok := q.byID[req.Cluster]
+	if !ok {
+		return false
+	}
+	it := q.items[i]
+	if it.state != stateLeased || it.lease != req.Lease {
+		return false
+	}
+	it.state = stateDone
+	it.busyNS = req.BusyNS
+	it.outcome = req.Outcome
+	q.completions++
+	return true
+}
+
+// done reports whether no pending or leased work remains.
+func (q *queue) done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range q.items {
+		if it.state == statePending || it.state == stateLeased {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"bootstrap/internal/cluster"
+	"bootstrap/internal/ir"
+)
+
+// fakeClusters builds clusters with the given pointer counts, IDs in
+// slice order — enough structure for the queue, which only reads ID
+// and Size.
+func fakeClusters(sizes ...int) []*cluster.Cluster {
+	out := make([]*cluster.Cluster, len(sizes))
+	v := ir.VarID(0)
+	for i, n := range sizes {
+		c := &cluster.Cluster{ID: i}
+		for j := 0; j < n; j++ {
+			c.Pointers = append(c.Pointers, v)
+			v++
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func TestGreedyBinsSplitByPointerWeight(t *testing.T) {
+	// 3+3 | 4 | 2+... — total 12 over 3 bins, 4 per bin: the paper's
+	// accumulate-until-1/k walk in cover order.
+	cs := fakeClusters(3, 3, 4, 2, 0)
+	bins := GreedyBins(cs, 3)
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d, want 3", len(bins))
+	}
+	want := [][]int{{0, 1}, {2}, {3, 4}}
+	for b := range want {
+		if len(bins[b]) != len(want[b]) {
+			t.Fatalf("bin %d = %v, want %v", b, bins[b], want[b])
+		}
+		for i := range want[b] {
+			if bins[b][i] != want[b][i] {
+				t.Fatalf("bin %d = %v, want %v", b, bins[b], want[b])
+			}
+		}
+	}
+	// Determinism: same inputs, same bins.
+	again := GreedyBins(cs, 3)
+	for b := range bins {
+		for i := range bins[b] {
+			if again[b][i] != bins[b][i] {
+				t.Fatal("GreedyBins is not deterministic")
+			}
+		}
+	}
+}
+
+func TestClaimLargestFirstWithinHomeBin(t *testing.T) {
+	q := newQueue(fakeClusters(2, 8, 5), 1, BinningSteal, time.Minute)
+	order := []int{}
+	for {
+		res := q.claim("w", 0)
+		if res.status != "work" {
+			break
+		}
+		order = append(order, res.item.Cluster)
+		q.complete(CompleteRequest{Lease: res.item.lease, Cluster: res.item.Cluster})
+	}
+	want := []int{1, 2, 0} // sizes 8, 5, 2
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("claim order = %v, want %v", order, want)
+		}
+	}
+	if !q.done() {
+		t.Fatal("queue not done after all completions")
+	}
+}
+
+func TestStealFromFullestBinOnlyInStealMode(t *testing.T) {
+	for _, tc := range []struct {
+		binning   Binning
+		wantSteal bool
+	}{{BinningSteal, true}, {BinningGreedy, false}} {
+		// Two bins: shard 0 gets clusters {0,1}, shard 1 gets {2}.
+		q := newQueue(fakeClusters(3, 3, 6), 2, tc.binning, time.Minute)
+		res := q.claim("w1", 1)
+		if res.status != "work" || res.item.Cluster != 2 {
+			t.Fatalf("[%s] shard 1 first claim = %+v, want cluster 2", tc.binning, res)
+		}
+		res = q.claim("w1", 1) // home bin dry
+		if tc.wantSteal {
+			if res.status != "work" || !res.item.stolen {
+				t.Fatalf("[steal] dry home bin should steal, got %+v", res)
+			}
+			if res.item.Bin != 0 {
+				t.Fatalf("[steal] stole from bin %d, want 0", res.item.Bin)
+			}
+		} else {
+			if res.status != "wait" {
+				t.Fatalf("[greedy] dry home bin must wait, got %q", res.status)
+			}
+			if q.steals != 0 {
+				t.Fatalf("[greedy] steals = %d, want 0", q.steals)
+			}
+		}
+	}
+}
+
+func TestLeaseExpiryReissuesThenAbandons(t *testing.T) {
+	q := newQueue(fakeClusters(4), 1, BinningSteal, time.Second)
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	var lastLease int64
+	for i := 1; i <= maxLeases; i++ {
+		res := q.claim("w", 0)
+		if res.status != "work" {
+			t.Fatalf("claim %d: %+v", i, res)
+		}
+		if res.item.attempts != i {
+			t.Fatalf("claim %d: attempts = %d", i, res.item.attempts)
+		}
+		if res.item.lease == lastLease {
+			t.Fatalf("claim %d: lease not re-issued", i)
+		}
+		lastLease = res.item.lease
+		now = now.Add(2 * time.Second) // blow the TTL
+	}
+	res := q.claim("w", 0)
+	if res.status != "done" {
+		t.Fatalf("after %d expirations want done (abandoned), got %q", maxLeases, res.status)
+	}
+	if q.abandoned != 1 || q.expirations != int64(maxLeases) {
+		t.Fatalf("abandoned=%d expirations=%d, want 1, %d", q.abandoned, q.expirations, maxLeases)
+	}
+	// The abandoned item must reject the zombie's late completion.
+	if q.complete(CompleteRequest{Lease: lastLease, Cluster: 0}) {
+		t.Fatal("stale complete accepted on abandoned item")
+	}
+}
+
+func TestRenewExtendsOnlyLiveLeases(t *testing.T) {
+	q := newQueue(fakeClusters(4), 1, BinningSteal, time.Second)
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	res := q.claim("w", 0)
+	lease := res.item.lease
+	now = now.Add(700 * time.Millisecond)
+	if !q.renew(0, lease) {
+		t.Fatal("live lease refused renewal")
+	}
+	now = now.Add(700 * time.Millisecond) // 1.4s after claim, 0.7s after renew
+	if got := q.claim("w2", 0); got.status != "wait" {
+		t.Fatalf("renewed lease expired anyway: %+v", got)
+	}
+	now = now.Add(time.Second) // now past the renewed expiry
+	got := q.claim("w2", 0)
+	if got.status != "work" {
+		t.Fatalf("expired lease not re-issued: %+v", got)
+	}
+	if q.renew(0, lease) {
+		t.Fatal("stale lease accepted renewal")
+	}
+	if q.complete(CompleteRequest{Lease: lease, Cluster: 0}) {
+		t.Fatal("stale lease accepted completion")
+	}
+	if !q.complete(CompleteRequest{Lease: got.item.lease, Cluster: 0}) {
+		t.Fatal("successor lease refused completion")
+	}
+}
+
+func TestWaitVersusDone(t *testing.T) {
+	q := newQueue(fakeClusters(3), 1, BinningSteal, time.Minute)
+	res := q.claim("w", 0)
+	if res.status != "work" {
+		t.Fatalf("first claim: %+v", res)
+	}
+	if got := q.claim("w2", 0); got.status != "wait" {
+		t.Fatalf("leased-out queue should answer wait, got %q", got.status)
+	}
+	q.complete(CompleteRequest{Lease: res.item.lease, Cluster: res.item.Cluster})
+	if got := q.claim("w2", 0); got.status != "done" {
+		t.Fatalf("drained queue should answer done, got %q", got.status)
+	}
+}

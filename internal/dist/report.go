@@ -1,0 +1,57 @@
+package dist
+
+// ShardReport is one shard's slice of the run.
+type ShardReport struct {
+	Shard       int     `json:"shard"`
+	Workers     int     `json:"workers"`
+	Claims      int64   `json:"claims"`
+	Steals      int64   `json:"steals"` // claims this shard's workers stole from other bins
+	Completions int64   `json:"completions"`
+	BusyNS      int64   `json:"busy_ns"`
+	Utilization float64 `json:"utilization"` // BusyNS / max-shard BusyNS
+}
+
+// Report is the coordinator's accounting of one distributed eager
+// phase. EagerSpeedup is the paper's simulated-k-machines metric:
+// total solve cost over the critical path (the busiest shard's cost).
+// It is machine-independent — busy time is per-cluster CPU (rusage)
+// time, so the number answers "how much faster would the eager phase
+// finish on k real machines", which is exactly what the paper's
+// Section 5 estimates, rather than being an artifact of how many cores
+// the coordinator's host happens to have. WallNS is the observed local
+// wall clock for reference.
+type Report struct {
+	Shards      int     `json:"shards"`
+	Binning     Binning `json:"binning"`
+	Items       int     `json:"items"`
+	Completed   int     `json:"completed"`
+	Abandoned   int     `json:"abandoned"`
+	Steals      int64   `json:"steals"`
+	Expirations int64   `json:"lease_expirations"`
+	Workers     int     `json:"workers_joined"`
+
+	WallNS         int64   `json:"wall_ns"`
+	BusyTotalNS    int64   `json:"busy_total_ns"`
+	CriticalPathNS int64   `json:"critical_path_ns"`
+	EagerSpeedup   float64 `json:"eager_speedup"`
+
+	PerShard []ShardReport `json:"per_shard"`
+}
+
+// finalize computes the derived columns from the raw per-shard sums.
+func (r *Report) finalize() {
+	var total, max int64
+	for _, s := range r.PerShard {
+		total += s.BusyNS
+		if s.BusyNS > max {
+			max = s.BusyNS
+		}
+	}
+	r.BusyTotalNS, r.CriticalPathNS = total, max
+	if max > 0 {
+		r.EagerSpeedup = float64(total) / float64(max)
+		for i := range r.PerShard {
+			r.PerShard[i].Utilization = float64(r.PerShard[i].BusyNS) / float64(max)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bootstrap/internal/cache"
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+)
+
+// RunOptions configure one distributed analysis run.
+type RunOptions struct {
+	// Shards is the worker-process count (>= 1); one worker serves each
+	// greedy bin.
+	Shards int
+	// Binning is the assignment policy (default BinningSteal).
+	Binning Binning
+	// LeaseTTL overrides the claim lease duration.
+	LeaseTTL time.Duration
+	// CacheDir is the shared result-cache directory. Empty creates a
+	// temporary directory that is removed when Run returns.
+	CacheDir string
+	// SpawnEnv is appended to each spawned worker's environment —
+	// the chaos hook (killEnv) rides in here from tests.
+	SpawnEnv []string
+	// InProcess runs the workers as goroutines of this process instead
+	// of re-exec'd children. Worker loss cannot be exercised this way;
+	// it exists for fast protocol tests.
+	InProcess bool
+	// Announce, when non-nil, receives a one-line "coordinator
+	// listening on <url>" note once the queue is being served — the
+	// address an external aliaswork process needs to join the fleet.
+	Announce io.Writer
+}
+
+// RunResult is a distributed run's merged analysis plus the
+// coordinator's accounting.
+type RunResult struct {
+	Analysis *core.Analysis
+	Report   Report
+}
+
+// Run executes the full distributed eager phase for one program: build
+// the plan, serve the lease queue, spawn (or start) Shards workers,
+// wait for the queue to drain — or for the whole fleet to die — and
+// then run the merge pass over the shared cache. The merged Analysis
+// is bit-identical to a single-process solve: worker-solved clusters
+// import from the cache (Theorem 6), and anything the fleet failed to
+// deliver is solved locally through the ordinary ladder.
+func Run(ctx context.Context, source string, cfg core.Config, opts RunOptions) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	cacheDir := opts.CacheDir
+	if cacheDir == "" {
+		dir, err := os.MkdirTemp("", "bootstrap-dist-*")
+		if err != nil {
+			return nil, fmt.Errorf("dist: cache dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		cacheDir = dir
+	}
+
+	prog, err := frontend.LowerSource(source)
+	if err != nil {
+		return nil, fmt.Errorf("dist: lower: %w", err)
+	}
+	pl, err := core.BuildPlan(ctx, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	coord, err := NewCoordinator(pl, source, Options{
+		Shards:   opts.Shards,
+		Binning:  opts.Binning,
+		LeaseTTL: opts.LeaseTTL,
+		CacheDir: cacheDir,
+		Config:   cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	if opts.Announce != nil {
+		fmt.Fprintf(opts.Announce, "dist: coordinator listening on %s (cache %s)\n", coord.Addr(), cacheDir)
+	}
+
+	// fleetDone closes when every worker has exited. If that happens
+	// before the queue drains (all workers killed), the drain wait stops
+	// and the merge pass takes over the remainder — worker loss degrades
+	// throughput, never the result.
+	fleetDone := make(chan struct{})
+	if opts.InProcess {
+		go func() {
+			defer close(fleetDone)
+			done := make(chan struct{}, opts.Shards)
+			for i := 0; i < opts.Shards; i++ {
+				go func(i int) {
+					defer func() { done <- struct{}{} }()
+					_, err := RunWorker(ctx, WorkerOptions{
+						Coordinator: coord.Addr(),
+						Name:        fmt.Sprintf("inproc-%d", i),
+					})
+					if err != nil && ctx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "dist worker %d: %v\n", i, err)
+					}
+				}(i)
+			}
+			for i := 0; i < opts.Shards; i++ {
+				<-done
+			}
+		}()
+	} else {
+		cmds, err := SpawnWorkers(opts.Shards, coord.Addr(), opts.SpawnEnv...)
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			defer close(fleetDone)
+			for _, cmd := range cmds {
+				cmd.Wait() // non-zero exits (kills) are the lease layer's problem
+			}
+		}()
+		defer func() {
+			for _, cmd := range cmds {
+				if cmd.ProcessState == nil {
+					cmd.Process.Kill()
+				}
+			}
+		}()
+	}
+
+	drainCtx, cancel := context.WithCancel(ctx)
+	go func() {
+		select {
+		case <-fleetDone:
+			cancel() // fleet gone: stop waiting, merge handles the rest
+		case <-drainCtx.Done():
+		}
+	}()
+	err = coord.WaitDrained(drainCtx)
+	cancel()
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Let the workers see "done" and exit cleanly before the server
+	// goes away; a wedged fleet doesn't hold the merge hostage.
+	select {
+	case <-fleetDone:
+	case <-time.After(5 * time.Second):
+	case <-ctx.Done():
+	}
+	report := coord.Report()
+
+	// Merge pass: same plan, shared cache. Everything the fleet solved
+	// imports warm; everything else solves here.
+	mcfg := cfg
+	mcfg.Cache = cache.New(cache.Options{Dir: cacheDir})
+	a, err := core.AnalyzeFromPlan(ctx, pl, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Analysis: a, Report: report}, nil
+}

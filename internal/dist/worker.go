@@ -1,0 +1,241 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bootstrap/internal/core"
+	"bootstrap/internal/faults"
+	"bootstrap/internal/frontend"
+)
+
+// WorkerOptions configure one shard worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name identifies the worker in leases and reports. Empty derives
+	// one from the PID.
+	Name string
+	// Faults, when non-nil, is installed into the worker's solve config
+	// — the chaos hook. A Kill fault terminates this process mid-solve,
+	// which is the scenario the lease-expiry machinery exists for.
+	Faults *faults.Plan
+	// Client overrides the HTTP client (tests); nil uses a default with
+	// a short timeout (everything is loopback).
+	Client *http.Client
+}
+
+// WorkerStats summarize one worker's run.
+type WorkerStats struct {
+	Shard     int
+	Claimed   int
+	Stolen    int
+	Completed int
+	BusyNS    int64
+}
+
+// RunWorker joins a coordinator, rebuilds its plan from the served
+// program, and solves claimed clusters until the queue drains. Results
+// flow exclusively through the shared cache directory: the worker's
+// only obligations to the coordinator are lease bookkeeping and busy
+// accounting. Returns the worker's stats.
+func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
+	var st WorkerStats
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", pid())
+	}
+	w := &worker{base: opts.Coordinator, client: client, name: name}
+
+	// Fetch the manifest and the program, rebuild the plan, and prove we
+	// built the same one by echoing the locally recomputed fingerprint.
+	var m Manifest
+	if err := w.getJSON(ctx, "/dist/manifest", &m); err != nil {
+		return st, err
+	}
+	source, err := w.getText(ctx, "/dist/program")
+	if err != nil {
+		return st, err
+	}
+	if got := Fingerprint(source, m.Config); got != m.Fingerprint {
+		return st, fmt.Errorf("dist: fingerprint mismatch: coordinator %s, worker %s", m.Fingerprint[:12], got[:12])
+	}
+	cfg, err := m.Config.ToConfig(m.CacheDir)
+	if err != nil {
+		return st, err
+	}
+	cfg.Faults = opts.Faults
+	prog, err := frontend.LowerSource(source)
+	if err != nil {
+		return st, fmt.Errorf("dist: worker lower: %w", err)
+	}
+	pl, err := core.BuildPlan(ctx, prog, cfg)
+	if err != nil {
+		return st, fmt.Errorf("dist: worker plan: %w", err)
+	}
+
+	var join JoinResponse
+	if err := w.postJSON(ctx, "/dist/join", JoinRequest{Worker: name, Fingerprint: m.Fingerprint}, &join); err != nil {
+		return st, err
+	}
+	st.Shard = join.Shard
+	ttl := time.Duration(m.LeaseTTLMS) * time.Millisecond
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		var cl ClaimResponse
+		if err := w.postJSON(ctx, "/dist/claim", ClaimRequest{Worker: name, Shard: join.Shard}, &cl); err != nil {
+			return st, err
+		}
+		switch cl.Status {
+		case "done":
+			return st, nil
+		case "wait":
+			wait := time.Duration(cl.RetryMS) * time.Millisecond
+			if wait <= 0 {
+				wait = claimWait
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return st, ctx.Err()
+			}
+			continue
+		}
+		st.Claimed++
+		if cl.Stolen {
+			st.Stolen++
+		}
+
+		c := pl.Cluster(cl.Cluster)
+		if c == nil {
+			// Plan divergence should be impossible past the fingerprint
+			// check; refuse loudly rather than solving the wrong thing.
+			return st, fmt.Errorf("dist: claimed unknown cluster %d", cl.Cluster)
+		}
+
+		// Renew the lease at TTL/3 while the solve runs, so only a dead
+		// or wedged worker ever expires.
+		renewCtx, stopRenew := context.WithCancel(ctx)
+		go w.renewLoop(renewCtx, cl.Lease, ttl)
+
+		busy0 := processCPUNS()
+		eng, h := core.RunCluster(ctx, pl.Prog, pl.CallGraph, pl.Steens, c, pl.Andersen, cfg)
+		busy := processCPUNS() - busy0
+		stopRenew()
+		_ = eng // the engine dies with the worker; the cache entry is the product
+		st.Completed++
+		st.BusyNS += busy
+
+		var ack Ack
+		if err := w.postJSON(ctx, "/dist/complete", CompleteRequest{
+			Worker:  name,
+			Lease:   cl.Lease,
+			Cluster: cl.Cluster,
+			BusyNS:  busy,
+			Outcome: h.Outcome(),
+			Stored:  h.Status == core.HealthOK && !h.Cached && !h.Demoted,
+		}, &ack); err != nil {
+			// A rejected complete means the lease expired under us (e.g.
+			// a Slow fault outlived the TTL). The solve still populated
+			// the cache; keep claiming.
+			continue
+		}
+	}
+}
+
+// worker is the HTTP client side of the protocol.
+type worker struct {
+	base   string
+	client *http.Client
+	name   string
+}
+
+func (w *worker) renewLoop(ctx context.Context, lease int64, ttl time.Duration) {
+	ivl := ttl / 3
+	if ivl <= 0 {
+		ivl = time.Second
+	}
+	tick := time.NewTicker(ivl)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			var ack Ack
+			// A failed renewal (stale lease) just means a successor owns
+			// the item now; the solve continues and complete will be
+			// rejected — correctness is unaffected.
+			_ = w.postJSON(ctx, "/dist/renew", RenewRequest{Worker: w.name, Lease: lease}, &ack)
+		}
+	}
+}
+
+func (w *worker) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+path, nil)
+	if err != nil {
+		return err
+	}
+	res, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: GET %s: %w", path, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: GET %s: %s", path, res.Status)
+	}
+	return json.NewDecoder(res.Body).Decode(v)
+}
+
+func (w *worker) getText(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := w.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("dist: GET %s: %w", path, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("dist: GET %s: %s", path, res.Status)
+	}
+	b, err := io.ReadAll(res.Body)
+	return string(b), err
+}
+
+func (w *worker) postJSON(ctx context.Context, path string, body, v any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: POST %s: %w", path, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: POST %s: %s", path, res.Status)
+	}
+	return json.NewDecoder(res.Body).Decode(v)
+}

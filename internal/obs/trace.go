@@ -50,6 +50,8 @@ const tracePID = 1
 //	100 + w  FSCS scheduler worker w (cluster, attempt and cache spans)
 //	200 + w  clustering-stream worker w (partition refinement spans)
 //	300 + i  alias-daemon query lane i (per-query spans, hashed over lanes)
+//	400 + s  distributed shard s (the coordinator's claim/steal/lease
+//	         spans for the workers serving that shard)
 const (
 	TIDMain     = 0
 	TIDFallback = 1
@@ -57,6 +59,7 @@ const (
 	tidWorkerBase    = 100
 	tidClustererBase = 200
 	tidQueryBase     = 300
+	tidShardBase     = 400
 )
 
 // WorkerTID returns the track of FSCS scheduler worker w.
@@ -64,6 +67,9 @@ func WorkerTID(w int) int { return tidWorkerBase + w }
 
 // ClustererTID returns the track of clustering-stream worker w.
 func ClustererTID(w int) int { return tidClustererBase + w }
+
+// ShardTID returns the coordinator-side track of distributed shard s.
+func ShardTID(s int) int { return tidShardBase + s }
 
 // QueryTID returns the track of alias-daemon query lane i. Lanes keep
 // concurrent per-query spans on a bounded set of named tracks instead of
