@@ -26,7 +26,7 @@ SERVE_BENCH = sock
 SHARD_ROWS  = autofs
 SHARD_SCALE = 0.5
 
-.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench shard-bench shard-baseline
+.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench shard-bench shard-baseline checker-bench checker-baseline examples
 
 all: check
 
@@ -88,6 +88,27 @@ shard-bench:
 # shards 1/2/4/8 × steal/greedy sweep over the four large workloads.
 shard-baseline:
 	$(GO) run ./cmd/benchtab -scale $(SHARD_SCALE) -shard-json BENCH_shard.json -assert
+
+# checker-bench is CI's static-analysis gate: every lockheavy preset
+# runs every registered pass cold then warm, and the fresh report is
+# asserted for full seeded-bug recall, zero cold/warm findings drift, a
+# fully-cached warm rerun, and per-rule findings counts equal to the
+# committed BENCH_check.json.
+checker-bench:
+	$(GO) run ./cmd/benchtab -check -assert -baseline BENCH_check.json
+
+# checker-baseline re-measures and commits the checker baseline — run
+# it when a PR changes what the passes find on purpose.
+checker-baseline:
+	$(GO) run ./cmd/benchtab -check -check-json BENCH_check.json
+
+# examples builds and runs every examples/ binary — the consumer-facing
+# API smoke test. Each example must exit 0.
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d || exit 1; \
+	done
 
 # serve-bench measures (and refreshes) BENCH_serve.json: boot the
 # daemon in the background, let aliasload wait for /readyz, run the

@@ -14,6 +14,9 @@
 //	POST /v1/mayalias {"p":"x","q":"y","at":"main"}
 //	POST /v1/pointsto {"p":"x"}
 //	POST /v1/lockset  {}
+//	POST /check       {"pass":"lockset"}  run a checker pass (lockset,
+//	                  deadlock, nullcheck, uaf) against the live snapshot;
+//	                  findings carry aliaslint fingerprints + snapshot id
 //	GET  /v1/info     GET /v1/vars
 //	POST /reload      {"source": "..."} or {"variant": 3} (re-reads the
 //	                  program file / re-synthesizes the workload)
@@ -98,6 +101,13 @@ func variantSource(src string, k int) string {
 // workload (salted by variant) or the program file re-read from disk.
 func loadSource(path string, variant int) (desc, src string, err error) {
 	if *synthName != "" {
+		if src, _, ok := synth.LockHeavyByName(*synthName); ok {
+			desc = "synth:" + *synthName
+			if variant > 0 {
+				desc = fmt.Sprintf("%s+v%d", desc, variant)
+			}
+			return desc, variantSource(src, variant), nil
+		}
 		b, ok := synth.FindBenchmark(*synthName)
 		if !ok {
 			return "", "", fmt.Errorf("unknown -synth benchmark %q", *synthName)

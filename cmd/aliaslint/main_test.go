@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resetFlags restores this command's flags (not the test framework's) to
+// their defaults between runs.
+func resetFlags() {
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		if !strings.HasPrefix(f.Name, "test.") {
+			_ = f.Value.Set(f.DefValue)
+		}
+	})
+}
+
+func TestLintTextSmoke(t *testing.T) {
+	resetFlags()
+	_ = flag.Set("synth", "lockheavy_small")
+	var out bytes.Buffer
+	code, err := run(&out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d on a seeded workload, want 1", code)
+	}
+	for _, want := range []string{"race", "use-after-free", "double-free", "deadlock"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLintSARIFAndBaseline(t *testing.T) {
+	sarifPath := filepath.Join(t.TempDir(), "baseline.sarif")
+
+	resetFlags()
+	_ = flag.Set("synth", "lockheavy_small")
+	_ = flag.Set("format", "sarif")
+	_ = flag.Set("out", sarifPath)
+	var out bytes.Buffer
+	code, err := run(&out)
+	if err != nil {
+		t.Fatalf("sarif run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d, want 1", code)
+	}
+
+	// The emitted log is valid SARIF with results.
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("read sarif: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("sarif does not decode: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("sarif shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+
+	// Suppressing against that log hides every finding.
+	resetFlags()
+	_ = flag.Set("synth", "lockheavy_small")
+	_ = flag.Set("baseline", sarifPath)
+	out.Reset()
+	code, err = run(&out)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code %d with a full baseline, want 0\n%s", code, out.String())
+	}
+}
+
+func TestLintBadInputs(t *testing.T) {
+	resetFlags()
+	_ = flag.Set("synth", "nosuchworkload")
+	if _, err := run(&bytes.Buffer{}); err == nil {
+		t.Error("unknown -synth workload should error")
+	}
+
+	resetFlags()
+	_ = flag.Set("synth", "lockheavy_small")
+	_ = flag.Set("passes", "nosuchpass")
+	if _, err := run(&bytes.Buffer{}); err == nil {
+		t.Error("unknown pass should error")
+	}
+}

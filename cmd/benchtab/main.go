@@ -54,6 +54,9 @@ var (
 
 	shardJSON = flag.String("shard-json", "", "write the distributed-execution sweep (shards 1/2/4/8 × steal/greedy, per-shard utilization, eager speedup) to this file and exit")
 
+	checkBench = flag.Bool("check", false, "run the checker benchmark instead: every lockheavy preset cold then warm, seeded-bug recall, cold/warm digest drift; with -assert, gate against -baseline BENCH_check.json")
+	checkJSON  = flag.String("check-json", "", "with -check, write the checker report to this file")
+
 	obsFlags  cliutil.ObsFlags
 	distFlags cliutil.DistFlags
 )
@@ -78,6 +81,9 @@ func main() {
 }
 
 func run(out io.Writer) (err error) {
+	if *checkBench {
+		return runCheck(out)
+	}
 	if *assert && !distFlags.Enabled() && *shardJSON == "" {
 		return runAssert(out, *baseline, *fresh)
 	}
@@ -214,6 +220,52 @@ func runShards(out io.Writer, suite []synth.Benchmark, opt bench.Options) error 
 			return fmt.Errorf("%d shard invariant(s) violated", len(errs))
 		}
 		fmt.Fprintf(out, "\nshard gate: %d workloads completed, bit-identical, speedup and steal-vs-greedy floors held\n",
+			len(report.Points))
+	}
+	return nil
+}
+
+// runCheck is the checker benchmark: every lockheavy preset runs every
+// registered pass cold then warm against the same cache directory,
+// scoring recall against the generator's seeded ground truth. Under
+// -assert it gates the fresh report's own invariants (recall 1.0, zero
+// cold/warm drift, fully-cached warm rerun) plus per-rule findings
+// counts against the committed baseline.
+func runCheck(out io.Writer) error {
+	report, err := bench.CheckPerf(synth.LockHeavyWorkloads(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Checker benchmark (lockheavy suite, all passes, cold vs warm cache):")
+	fmt.Fprintln(out)
+	fmt.Fprint(out, bench.FormatCheck(report))
+	if *checkJSON != "" {
+		f, err := os.Create(*checkJSON)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteCheckJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s (%d workloads)\n", *checkJSON, len(report.Points))
+	}
+	if *assert {
+		base, err := bench.ReadCheckJSONFile(*baseline)
+		if err != nil {
+			return err
+		}
+		errs := bench.AssertCheck(base, report)
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchtab: check gate:", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d checker invariant(s) violated (baseline %s)", len(errs), *baseline)
+		}
+		fmt.Fprintf(out, "\ncheck gate: %d workloads at full recall, zero drift, warm reruns fully cached\n",
 			len(report.Points))
 	}
 	return nil

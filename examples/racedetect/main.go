@@ -1,16 +1,22 @@
 // Racedetect: the paper's motivating application — static data-race
-// detection for driver-style code via lockset computation, using the
-// demand-driven mode that analyzes only clusters containing lock pointers.
+// detection for driver-style code — written as a client of the checker
+// framework (internal/check). The framework picks the demand predicate
+// from the passes' declared footprints, so only clusters the checkers
+// actually query get the precise flow- and context-sensitive treatment,
+// and every finding carries a stable fingerprint suitable for baseline
+// suppression (see cmd/aliaslint).
 //
 //	go run ./examples/racedetect
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"bootstrap/internal/check"
 	"bootstrap/internal/core"
-	"bootstrap/internal/lockset"
+	"bootstrap/internal/frontend"
 )
 
 // driver models a device driver with two concurrent entry points: the
@@ -62,39 +68,38 @@ const driver = `
 `
 
 func main() {
-	// Demand-driven bootstrap: only clusters containing lock pointers get
-	// the precise flow- and context-sensitive treatment ("since a lock
-	// pointer can alias only to another lock pointer, we need to consider
-	// clusters comprised solely of lock pointers").
-	analysis, err := core.AnalyzeSource(driver, core.Config{
+	prog, err := frontend.LowerSource(driver)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The race and deadlock passes both declare a lock-pointer footprint
+	// ("since a lock pointer can alias only to another lock pointer, we
+	// need to consider clusters comprised solely of lock pointers"), so
+	// the lazy analysis solves only those clusters on demand.
+	passes, err := check.Select("lockset,deadlock")
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := core.AnalyzeProgram(prog, core.Config{
 		Mode:   core.ModeAndersen,
-		Demand: lockset.LockDemand,
+		Lazy:   true,
+		Demand: check.DemandFor(prog, passes),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("analyzed %d of %d clusters (lock clusters only)\n",
-		len(analysis.Timing.PerCluster), len(analysis.Clusters))
 
-	det := lockset.NewDetector(analysis, lockset.Config{})
-	races, accesses := det.Detect()
+	rep := check.Run(context.Background(), analysis, check.Options{
+		Passes: passes,
+		Source: "examples/racedetect",
+	})
 
-	fmt.Printf("threads: %d entry points, %d shared accesses\n\n",
-		len(det.Threads()), len(accesses))
-	if len(races) == 0 {
-		fmt.Println("no races found")
-		return
-	}
-	fmt.Printf("%d potential races:\n", len(races))
-	reported := map[string]bool{}
-	for _, r := range races {
-		v := analysis.Prog.VarName(r.Var)
-		if reported[v] {
-			continue // one report per variable for readability
-		}
-		reported[v] = true
-		fmt.Println("  " + r.Format(analysis.Prog))
-	}
+	solved, demoted := analysis.SolveStats()
+	fmt.Printf("solved %d of %d clusters on demand (%d demoted)\n\n",
+		solved, len(analysis.Clusters), demoted)
+	fmt.Print(check.FormatText(rep))
+
 	fmt.Println("\nexpected: races on stats (ioctl skips stats_lock) and on")
 	fmt.Println("debug_flag (never protected); dev_state is race-free.")
 }

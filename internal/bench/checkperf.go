@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bootstrap/internal/cache"
+	"bootstrap/internal/check"
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/synth"
+)
+
+// CheckPoint is one lockheavy workload's checker measurement: a cold
+// run against an empty result cache, then a warm rerun against the same
+// cache directory. The digest is order-independent over the findings'
+// stable fingerprints, so cold/warm digest equality states the checker
+// is deterministic under caching, and the per-rule findings counts are
+// the drift surface the baseline gate compares.
+type CheckPoint struct {
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	Locks    int    `json:"locks"`
+	Vars     int    `json:"vars"`
+	Clusters int    `json:"clusters"`
+
+	ColdNS      int64   `json:"cold_ns"`
+	WarmNS      int64   `json:"warm_ns"`
+	WarmHitRate float64 `json:"warm_cache_hit_rate"`
+
+	// Findings counts the cold run's diagnostics per rule (race,
+	// deadlock, use-after-free, double-free, null-deref).
+	Findings map[string]int `json:"findings"`
+	// Digest / WarmDigest hash the sorted fingerprint sets of the cold
+	// and warm runs; equality = zero findings drift across cache state.
+	Digest     string `json:"digest"`
+	WarmDigest string `json:"warm_digest"`
+
+	// SeededBugs / SeededFound state recall against the generator's
+	// ground truth: the gate requires them equal (recall 1.0).
+	SeededBugs  int `json:"seeded_bugs"`
+	SeededFound int `json:"seeded_found"`
+	// Incomplete counts pass results that degraded on a deadline across
+	// both runs; the bench runs without one, so any is a failure.
+	Incomplete int `json:"incomplete"`
+}
+
+// CheckPerfReport is the BENCH_check.json payload.
+type CheckPerfReport struct {
+	Date   string       `json:"date"`
+	Points []CheckPoint `json:"points"`
+}
+
+// checkConfig is the analysis configuration the checker bench runs
+// under: the full bootstrapped cascade in lazy mode, so only clusters
+// in the passes' union footprint ever solve.
+func checkConfig(c *cache.Cache) core.Config {
+	return core.Config{
+		Mode:              core.ModeAndersen,
+		AndersenThreshold: 60,
+		Cache:             c,
+	}
+}
+
+// runCheckOnce lowers src and runs every registered pass demand-driven
+// against the given result cache, returning the report and wall time.
+func runCheckOnce(src string, c *cache.Cache) (*check.Report, time.Duration, int, int, error) {
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	passes := check.All()
+	cfg := checkConfig(c)
+	cfg.Lazy = true
+	cfg.Demand = check.DemandFor(prog, passes)
+	t0 := time.Now()
+	a, err := core.AnalyzeProgram(prog, cfg)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	rep := check.Run(context.Background(), a, check.Options{Passes: passes})
+	return rep, time.Since(t0), prog.NumVars(), len(a.Clusters), nil
+}
+
+// checkDigest hashes the report's sorted fingerprint set.
+func checkDigest(rep *check.Report) string {
+	h := fnv.New64a()
+	for _, fp := range rep.Fingerprints() {
+		io.WriteString(h, fp)
+		io.WriteString(h, "\n")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// countIncomplete tallies degraded pass results.
+func countIncomplete(rep *check.Report) int {
+	n := 0
+	for _, res := range rep.Results {
+		if res.Incomplete {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckPerf measures every lockheavy preset cold then warm against a
+// fresh per-workload cache directory and scores recall against the
+// generator's seeded ground truth.
+func CheckPerf(workloads []synth.LockHeavyWorkload, log io.Writer) (*CheckPerfReport, error) {
+	if log == nil {
+		log = io.Discard
+	}
+	report := &CheckPerfReport{Date: time.Now().UTC().Format("2006-01-02")}
+	for _, w := range workloads {
+		fmt.Fprintf(log, "check-bench %s: cold + warm...\n", w.Name)
+		src, bugs := synth.LockHeavy(w.Cfg)
+		dir, err := os.MkdirTemp("", "checkperf-")
+		if err != nil {
+			return nil, err
+		}
+		cold, coldNS, vars, clusters, err := runCheckOnce(src, cache.New(cache.Options{Dir: dir}))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("%s cold: %w", w.Name, err)
+		}
+		warmCache := cache.New(cache.Options{Dir: dir})
+		warm, warmNS, _, _, err := runCheckOnce(src, warmCache)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s warm: %w", w.Name, err)
+		}
+		for _, res := range append(cold.Results, warm.Results...) {
+			if res.Err != nil && !res.Incomplete {
+				return nil, fmt.Errorf("%s pass %s: %w", w.Name, res.Pass, res.Err)
+			}
+		}
+
+		pt := CheckPoint{
+			Workload:    w.Name,
+			Threads:     w.Cfg.Threads,
+			Locks:       w.Cfg.Locks,
+			Vars:        vars,
+			Clusters:    clusters,
+			ColdNS:      int64(coldNS),
+			WarmNS:      int64(warmNS),
+			WarmHitRate: warmCache.Stats().HitRate(),
+			Findings:    map[string]int{},
+			Digest:      checkDigest(cold),
+			WarmDigest:  checkDigest(warm),
+			SeededBugs:  len(bugs),
+			Incomplete:  countIncomplete(cold) + countIncomplete(warm),
+		}
+		diags := cold.Diagnostics()
+		for _, d := range diags {
+			pt.Findings[d.Rule]++
+		}
+		for _, bug := range bugs {
+			for _, d := range diags {
+				if d.Rule == bug.Rule && strings.Contains(d.Message, bug.Var) {
+					pt.SeededFound++
+					break
+				}
+			}
+		}
+		report.Points = append(report.Points, pt)
+	}
+	return report, nil
+}
+
+// AssertCheck gates a fresh checker report: its own invariants (full
+// seeded-bug recall, cold/warm digest equality, fully-cached warm rerun,
+// no degraded pass) plus per-rule findings counts equal to the committed
+// baseline. Digests are NOT compared across reports — fingerprints are
+// stable within a source, and the generator pins the source, but the
+// baseline gate's drift surface is the per-rule counts so a legitimate
+// fingerprint-scheme change only requires re-baselining when counts
+// move.
+func AssertCheck(base, fresh *CheckPerfReport) []error {
+	var errs []error
+	if len(fresh.Points) == 0 {
+		return []error{fmt.Errorf("check report has no workloads")}
+	}
+	byName := map[string]*CheckPoint{}
+	for i := range base.Points {
+		byName[base.Points[i].Workload] = &base.Points[i]
+	}
+	for i := range fresh.Points {
+		pt := &fresh.Points[i]
+		if pt.SeededFound != pt.SeededBugs {
+			errs = append(errs, fmt.Errorf("%s: recall %d/%d seeded bugs, want all",
+				pt.Workload, pt.SeededFound, pt.SeededBugs))
+		}
+		if pt.Digest != pt.WarmDigest {
+			errs = append(errs, fmt.Errorf("%s: warm rerun drifted (cold digest %s, warm %s)",
+				pt.Workload, pt.Digest, pt.WarmDigest))
+		}
+		if pt.WarmHitRate < 1.0 {
+			errs = append(errs, fmt.Errorf("%s: warm cache hit rate %.2f, want 1.0",
+				pt.Workload, pt.WarmHitRate))
+		}
+		if pt.Incomplete != 0 {
+			errs = append(errs, fmt.Errorf("%s: %d pass run(s) degraded without a deadline",
+				pt.Workload, pt.Incomplete))
+		}
+		bp, ok := byName[pt.Workload]
+		if !ok {
+			errs = append(errs, fmt.Errorf("%s: not in the baseline (re-baseline with make checker-baseline)", pt.Workload))
+			continue
+		}
+		rules := map[string]bool{}
+		for r := range pt.Findings {
+			rules[r] = true
+		}
+		for r := range bp.Findings {
+			rules[r] = true
+		}
+		var sorted []string
+		for r := range rules {
+			sorted = append(sorted, r)
+		}
+		sort.Strings(sorted)
+		for _, r := range sorted {
+			if pt.Findings[r] != bp.Findings[r] {
+				errs = append(errs, fmt.Errorf("%s: %s findings %d, baseline %d",
+					pt.Workload, r, pt.Findings[r], bp.Findings[r]))
+			}
+		}
+	}
+	for name := range byName {
+		seen := false
+		for _, pt := range fresh.Points {
+			if pt.Workload == name {
+				seen = true
+			}
+		}
+		if !seen {
+			errs = append(errs, fmt.Errorf("%s: in the baseline but not measured", name))
+		}
+	}
+	return errs
+}
+
+// WriteCheckJSON writes the report as indented JSON.
+func WriteCheckJSON(w io.Writer, report *CheckPerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// ReadCheckJSONFile loads a BENCH_check.json.
+func ReadCheckJSONFile(path string) (*CheckPerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report CheckPerfReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &report, nil
+}
+
+// FormatCheck renders the report as a fixed-width table.
+func FormatCheck(report *CheckPerfReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %5s %6s %8s %8s %6s %7s %8s\n",
+		"workload", "vars", "found", "cold_ms", "warm_ms", "hit", "drift", "findings")
+	for _, pt := range report.Points {
+		total := 0
+		for _, n := range pt.Findings {
+			total += n
+		}
+		drift := "none"
+		if pt.Digest != pt.WarmDigest {
+			drift = "DRIFT"
+		}
+		fmt.Fprintf(&sb, "%-18s %5d %3d/%-3d %8.1f %8.1f %6.2f %7s %8d\n",
+			pt.Workload, pt.Vars, pt.SeededFound, pt.SeededBugs,
+			float64(pt.ColdNS)/1e6, float64(pt.WarmNS)/1e6,
+			pt.WarmHitRate, drift, total)
+	}
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"bootstrap/internal/synth"
+)
+
+// smallCheckReport measures just the small preset (the full suite is
+// benchtab's job; the test wants the plumbing, fast).
+func smallCheckReport(t *testing.T) *CheckPerfReport {
+	t.Helper()
+	report, err := CheckPerf(synth.LockHeavyWorkloads()[:1], io.Discard)
+	if err != nil {
+		t.Fatalf("CheckPerf: %v", err)
+	}
+	return report
+}
+
+func TestCheckPerfInvariants(t *testing.T) {
+	report := smallCheckReport(t)
+	if len(report.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(report.Points))
+	}
+	pt := report.Points[0]
+	if pt.SeededFound != pt.SeededBugs || pt.SeededBugs == 0 {
+		t.Errorf("recall %d/%d", pt.SeededFound, pt.SeededBugs)
+	}
+	if pt.Digest != pt.WarmDigest {
+		t.Errorf("cold/warm drift: %s vs %s", pt.Digest, pt.WarmDigest)
+	}
+	if pt.WarmHitRate != 1.0 {
+		t.Errorf("warm hit rate %.2f, want 1.0", pt.WarmHitRate)
+	}
+	if pt.Incomplete != 0 {
+		t.Errorf("%d incomplete pass runs", pt.Incomplete)
+	}
+	if pt.Findings["race"] == 0 || pt.Findings["use-after-free"] == 0 {
+		t.Errorf("findings missing expected rules: %v", pt.Findings)
+	}
+	// A report gates cleanly against itself.
+	if errs := AssertCheck(report, report); len(errs) != 0 {
+		t.Errorf("self-assert: %v", errs)
+	}
+}
+
+func TestAssertCheckCatchesDrift(t *testing.T) {
+	report := smallCheckReport(t)
+	// Findings-count drift against the baseline fires the gate.
+	base := *report
+	base.Points = append([]CheckPoint(nil), report.Points...)
+	base.Points[0].Findings = map[string]int{"race": report.Points[0].Findings["race"] + 1}
+	errs := AssertCheck(&base, report)
+	if len(errs) == 0 {
+		t.Fatal("findings drift not caught")
+	}
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "race findings") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no race-count error in %v", errs)
+	}
+	// A fresh point that lost recall fires regardless of the baseline.
+	bad := *report
+	bad.Points = append([]CheckPoint(nil), report.Points...)
+	bad.Points[0].SeededFound--
+	if errs := AssertCheck(report, &bad); len(errs) == 0 {
+		t.Error("recall loss not caught")
+	}
+}
+
+func TestCheckJSONRoundTrip(t *testing.T) {
+	report := smallCheckReport(t)
+	var buf bytes.Buffer
+	if err := WriteCheckJSON(&buf, report); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	path := t.TempDir() + "/check.json"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write file: %v", err)
+	}
+	back, err := ReadCheckJSONFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if errs := AssertCheck(back, report); len(errs) != 0 {
+		t.Errorf("round-trip assert: %v", errs)
+	}
+	if out := FormatCheck(back); !strings.Contains(out, "lockheavy_small") {
+		t.Errorf("FormatCheck lost the workload row:\n%s", out)
+	}
+}

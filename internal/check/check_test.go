@@ -1,0 +1,252 @@
+package check_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"bootstrap/internal/cache"
+	"bootstrap/internal/check"
+	"bootstrap/internal/core"
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/synth"
+)
+
+// analyzeLazy builds the standard checker-driver analysis: lazy mode
+// with the selected passes' union footprint as the demand predicate.
+func analyzeLazy(t *testing.T, src string, passes []check.Pass, cfg core.Config) *core.Analysis {
+	t.Helper()
+	prog, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	cfg.Lazy = true
+	cfg.Demand = check.DemandFor(prog, passes)
+	a, err := core.AnalyzeProgram(prog, cfg)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// found reports whether some diagnostic matches the seeded bug: same
+// rule, message mentioning the seeded variable.
+func found(diags []check.Diagnostic, bug synth.SeededBug) bool {
+	for _, d := range diags {
+		if d.Rule == bug.Rule && strings.Contains(d.Message, bug.Var) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLockHeavyRecall: every seeded bug in every lockheavy preset is
+// found, and the correctly-guarded parts produce no findings.
+func TestLockHeavyRecall(t *testing.T) {
+	for _, w := range synth.LockHeavyWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src, bugs := synth.LockHeavy(w.Cfg)
+			passes := check.All()
+			a := analyzeLazy(t, src, passes, core.Config{})
+			rep := check.Run(context.Background(), a, check.Options{Passes: passes})
+			diags := rep.Diagnostics()
+			for _, bug := range bugs {
+				if !found(diags, bug) {
+					t.Errorf("seeded %s on %s not found\n%s", bug.Rule, bug.Var, check.FormatText(rep))
+				}
+			}
+			for _, res := range rep.Results {
+				if res.Err != nil {
+					t.Errorf("pass %s: %v", res.Pass, res.Err)
+				}
+				if res.Incomplete {
+					t.Errorf("pass %s incomplete without a deadline", res.Pass)
+				}
+			}
+			for _, d := range diags {
+				if d.Rule == "race" && strings.Contains(d.Message, "race on gs") {
+					t.Errorf("spurious race on a guarded counter: %s", d.Message)
+				}
+				if d.Rule == "null-deref" {
+					t.Errorf("spurious null-deref in lockheavy: %s", d.Message)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicFingerprints: two fresh runs over the same workload
+// yield identical fingerprint sets, and a warm rerun against the same
+// cache directory is a pure cache hit.
+func TestDeterministicFingerprints(t *testing.T) {
+	src, _ := synth.LockHeavy(synth.LockHeavyWorkloads()[0].Cfg)
+	dir := t.TempDir()
+
+	run := func() ([]string, cache.Stats) {
+		c := cache.New(cache.Options{Dir: dir})
+		passes := check.All()
+		before := c.Stats()
+		a := analyzeLazy(t, src, passes, core.Config{Cache: c})
+		rep := check.Run(context.Background(), a, check.Options{Passes: passes})
+		return rep.Fingerprints(), c.Stats().Sub(before)
+	}
+
+	cold, coldStats := run()
+	warm, warmStats := run()
+	if len(cold) == 0 {
+		t.Fatal("no findings on a seeded workload")
+	}
+	if strings.Join(cold, ",") != strings.Join(warm, ",") {
+		t.Errorf("fingerprint drift cold vs warm:\ncold: %v\nwarm: %v", cold, warm)
+	}
+	if coldStats.Misses == 0 {
+		t.Errorf("cold run should miss the cache, stats %+v", coldStats)
+	}
+	if warmStats.Misses != 0 || warmStats.Hits == 0 {
+		t.Errorf("warm run should be a pure cache hit, stats %+v", warmStats)
+	}
+}
+
+// TestBaselineSuppression: a run's own SARIF baseline suppresses every
+// finding of a rerun.
+func TestBaselineSuppression(t *testing.T) {
+	src, _ := synth.LockHeavy(synth.LockHeavyWorkloads()[0].Cfg)
+	passes := check.All()
+	a := analyzeLazy(t, src, passes, core.Config{})
+	rep := check.Run(context.Background(), a, check.Options{Passes: passes})
+	total := len(rep.Diagnostics())
+	if total == 0 {
+		t.Fatal("no findings to baseline")
+	}
+
+	var buf bytes.Buffer
+	if err := check.WriteSARIF(&buf, rep); err != nil {
+		t.Fatalf("sarif: %v", err)
+	}
+	baseline, err := check.ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if len(baseline) != total {
+		t.Fatalf("baseline has %d fingerprints, want %d (collision?)", len(baseline), total)
+	}
+
+	rep2 := check.Run(context.Background(), a, check.Options{Passes: check.All(), Baseline: baseline})
+	if n := len(rep2.Diagnostics()); n != 0 {
+		t.Errorf("baseline left %d findings:\n%s", n, check.FormatText(rep2))
+	}
+	suppressed := 0
+	for _, res := range rep2.Results {
+		suppressed += res.Suppressed
+	}
+	if suppressed != total {
+		t.Errorf("suppressed %d, want %d", suppressed, total)
+	}
+}
+
+// TestSARIFShape validates the SARIF 2.1.0 required fields on a real
+// report.
+func TestSARIFShape(t *testing.T) {
+	src, _ := synth.LockHeavy(synth.LockHeavyWorkloads()[0].Cfg)
+	passes := check.All()
+	a := analyzeLazy(t, src, passes, core.Config{})
+	rep := check.Run(context.Background(), a, check.Options{Passes: passes, Source: "lockheavy_small.cpl"})
+
+	var buf bytes.Buffer
+	if err := check.WriteSARIF(&buf, rep); err != nil {
+		t.Fatalf("sarif: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if v := log["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	if _, ok := log["$schema"].(string); !ok {
+		t.Error("missing $schema")
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want one run", log["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "aliaslint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) == 0 {
+		t.Error("no rules in driver metadata")
+	}
+	results, ok := run["results"].([]any)
+	if !ok || len(results) == 0 {
+		t.Fatal("no results")
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range rules {
+		ruleIDs[r.(map[string]any)["id"].(string)] = true
+	}
+	for _, raw := range results {
+		res := raw.(map[string]any)
+		if !ruleIDs[res["ruleId"].(string)] {
+			t.Errorf("result ruleId %v not declared in driver rules", res["ruleId"])
+		}
+		switch res["level"] {
+		case "note", "warning", "error":
+		default:
+			t.Errorf("bad level %v", res["level"])
+		}
+		if res["message"].(map[string]any)["text"] == "" {
+			t.Error("empty message text")
+		}
+		locs := res["locations"].([]any)
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		if phys["artifactLocation"].(map[string]any)["uri"] != "lockheavy_small.cpl" {
+			t.Errorf("artifact uri = %v", phys["artifactLocation"])
+		}
+		if phys["region"].(map[string]any)["startLine"].(float64) < 1 {
+			t.Error("startLine must be 1-based")
+		}
+		fps := res["partialFingerprints"].(map[string]any)
+		if fps[check.FingerprintKey] == "" {
+			t.Error("missing partial fingerprint")
+		}
+	}
+}
+
+// TestPassDeadline: an expired pass deadline yields an incomplete (but
+// not failed) result and never blocks the run.
+func TestPassDeadline(t *testing.T) {
+	src, _ := synth.LockHeavy(synth.LockHeavyWorkloads()[1].Cfg)
+	passes := check.All()
+	a := analyzeLazy(t, src, passes, core.Config{})
+	rep := check.Run(context.Background(), a, check.Options{Passes: passes, PassTimeout: time.Nanosecond})
+	for _, res := range rep.Results {
+		if !res.Incomplete {
+			t.Errorf("pass %s: want incomplete under a 1ns deadline", res.Pass)
+		}
+	}
+}
+
+// TestSelect covers the pass registry surface.
+func TestSelect(t *testing.T) {
+	all, err := check.Select("all")
+	if err != nil || len(all) != len(check.All()) {
+		t.Fatalf("Select(all) = %d passes, err %v", len(all), err)
+	}
+	two, err := check.Select("lockset, uaf")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(lockset, uaf) = %v, err %v", two, err)
+	}
+	if _, err := check.Select("nosuch"); err == nil {
+		t.Fatal("Select(nosuch) should fail")
+	}
+	if _, ok := check.Lookup("deadlock"); !ok {
+		t.Fatal("Lookup(deadlock) should succeed")
+	}
+}

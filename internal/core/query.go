@@ -245,6 +245,76 @@ func (a *Analysis) MayAliasContext(ctx context.Context, p, q ir.VarID, loc ir.Lo
 	return a.Andersen.MayAlias(p, q), false
 }
 
+// MustAliasContext is the context-first MustAlias: p and q must alias at
+// loc when some analyzed cluster containing both proves it. Cold clusters
+// solve on first touch through EnsureCluster. precise is false when a
+// cluster of p was demoted or still solving at the deadline — must-alias
+// facts cannot be recovered from the flow-insensitive fallback, so the
+// answer is then a sound "false" (never a spurious must).
+func (a *Analysis) MustAliasContext(ctx context.Context, p, q ir.VarID, loc ir.Loc) (must, precise bool) {
+	if p == q {
+		return true, true
+	}
+	precise = true
+	for _, id := range a.byPointer[p] {
+		eng, _, final := a.EnsureCluster(ctx, id)
+		if !final || eng == nil {
+			precise = false
+			continue
+		}
+		a.mu.Lock()
+		ok := eng.Cluster().HasPointer(q) && eng.MustAlias(p, q, loc)
+		a.mu.Unlock()
+		if ok {
+			return true, precise
+		}
+	}
+	return false, precise
+}
+
+// DerefStateContext is the context-first DerefState: what a dereference
+// of p at loc may observe — the referable objects, whether some path
+// arrives with p null or uninitialized, and whether the answer is
+// precise. Cold clusters solve on first touch; a cluster demoted or
+// still solving at the deadline clears precise (the flags stay sound for
+// the clusters that did answer). Pointers outside every analyzed cluster
+// fall back to the flow-insensitive set with precise=false and unknown
+// flags cleared, mirroring the classic DerefState.
+func (a *Analysis) DerefStateContext(ctx context.Context, p ir.VarID, loc ir.Loc) (objs []ir.VarID, mayNull, mayUninit, precise bool) {
+	set := map[ir.VarID]bool{}
+	precise = true
+	found := false
+	for _, id := range a.byPointer[p] {
+		eng, _, final := a.EnsureCluster(ctx, id)
+		if !final || eng == nil {
+			precise = false
+			continue
+		}
+		found = true
+		a.mu.Lock()
+		st := eng.ValueState(p, loc)
+		a.mu.Unlock()
+		precise = precise && !st.Unknown
+		mayNull = mayNull || st.Null
+		mayUninit = mayUninit || st.Uninit
+		for _, o := range st.Objs {
+			set[o] = true
+		}
+	}
+	if !found {
+		a.mu.Lock()
+		objs, _ = a.PointsToLockedFallback(p)
+		a.mu.Unlock()
+		return objs, false, false, false
+	}
+	objs = make([]ir.VarID, 0, len(set))
+	for o := range set {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return objs, mayNull, mayUninit, precise
+}
+
 // PointsToContext is the context-first PointsTo: the union of p's
 // per-cluster value sets at loc, solving cold clusters on first touch.
 // precise is false when any contributing engine lost precision, when a

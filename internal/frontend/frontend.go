@@ -363,8 +363,20 @@ func (lw *lowerer) lowerStmt(s cpl.Stmt) error {
 	case *cpl.AssignStmt:
 		return lw.lowerAssign(st.LHS, st.RHS, st.Pos)
 	case *cpl.FreeStmt:
-		// free(p) is modeled as p = NULL (paper, Remark 1).
-		return lw.lowerAssign(st.X, &cpl.Null{Pos: st.Pos}, st.Pos)
+		// free(p) is modeled as p = NULL (paper, Remark 1). The nullify
+		// nodes it lowers to carry Stmt.Free so deallocation-aware
+		// checkers (use-after-free, double-free) can find free sites; the
+		// alias analyses ignore the flag.
+		before := len(lw.prog.Nodes)
+		if err := lw.lowerAssign(st.X, &cpl.Null{Pos: st.Pos}, st.Pos); err != nil {
+			return err
+		}
+		for _, n := range lw.prog.Nodes[before:] {
+			if n.Stmt.Op == ir.OpNullify {
+				n.Stmt.Free = true
+			}
+		}
+		return nil
 	case *cpl.ExprStmt:
 		call, ok := st.X.(*cpl.Call)
 		if !ok {

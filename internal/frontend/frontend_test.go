@@ -103,7 +103,7 @@ func TestMallocFreeNull(t *testing.T) {
 	if got[0] == strings.Replace(got[1], "main.b", "main.a", 1) {
 		t.Errorf("two allocation sites share an abstract object: %q vs %q", got[0], got[1])
 	}
-	if got[2] != "main.a = null" || got[3] != "main.b = null" {
+	if got[2] != "free(main.a)" || got[3] != "main.b = null" {
 		t.Errorf("free/null lowering = %v", got[2:])
 	}
 }

@@ -107,6 +107,13 @@ type Stmt struct {
 
 	// Comment carries the original source text or position, for dumps only.
 	Comment string
+
+	// Free marks an OpNullify lowered from free(p) (paper, Remark 1:
+	// free(p) is modeled as p = null). The flag has no effect on any
+	// alias analysis — the nullify semantics are identical — but client
+	// checkers (use-after-free, double-free) need to tell a deallocation
+	// apart from an ordinary null assignment.
+	Free bool
 }
 
 // Node is one CFG node: a statement at a location, with intraprocedural
@@ -252,6 +259,9 @@ func (p *Program) StmtString(loc Loc) string {
 	case OpStore:
 		return fmt.Sprintf("*%s = %s", p.VarName(s.Dst), p.VarName(s.Src))
 	case OpNullify:
+		if s.Free {
+			return fmt.Sprintf("free(%s)", p.VarName(s.Dst))
+		}
 		return fmt.Sprintf("%s = null", p.VarName(s.Dst))
 	case OpCall:
 		args := make([]string, len(s.Args))

@@ -80,6 +80,7 @@ func TestStmtStrings(t *testing.T) {
 		{Stmt{Op: OpLoad, Dst: x, Src: y}, "x = *y"},
 		{Stmt{Op: OpStore, Dst: x, Src: y}, "*x = y"},
 		{Stmt{Op: OpNullify, Dst: x, Src: NoVar}, "x = null"},
+		{Stmt{Op: OpNullify, Dst: x, Src: NoVar, Free: true}, "free(x)"},
 		{Stmt{Op: OpSkip, Dst: NoVar, Src: NoVar, Comment: "entry"}, "skip // entry"},
 		{Stmt{Op: OpRet, Dst: NoVar, Src: NoVar}, "return"},
 		{Stmt{Op: OpCall, Dst: NoVar, Src: NoVar, Callee: g.ID, FPtr: NoVar, Args: []VarID{x}}, "call callee(x)"},

@@ -143,10 +143,35 @@ func equalSets(s, t lockSet) bool {
 	return true
 }
 
+// Source is the analysis surface the detector consumes: the program and
+// a points-to query for resolving lock pointers to lock objects.
+// *core.Analysis is the classic provider (see NewDetector); the checker
+// framework adapts its deadline-scoped, demand-driven query handle.
+type Source interface {
+	Program() *ir.Program
+	PointsTo(p ir.VarID, loc ir.Loc) ([]ir.VarID, bool)
+}
+
+// analysisSource adapts *core.Analysis to Source (PointsTo is promoted).
+type analysisSource struct{ *core.Analysis }
+
+func (s analysisSource) Program() *ir.Program { return s.Prog }
+
+// OrderEdge is one observed lock-order fact: while Held was definitely
+// held, the thread acquired Acquired at Loc. The deadlock checker builds
+// the lock-order graph from these edges; a cycle is a potential deadlock
+// and each edge's Loc is its acquisition witness.
+type OrderEdge struct {
+	Held, Acquired ir.VarID
+	Loc            ir.Loc
+	Thread         ir.FuncID
+}
+
 // Detector runs lockset-based race detection over a completed analysis.
 type Detector struct {
-	a   *core.Analysis
-	cfg Config
+	src  Source
+	prog *ir.Program
+	cfg  Config
 
 	acquire map[ir.FuncID]bool
 	release map[ir.FuncID]bool
@@ -155,27 +180,38 @@ type Detector struct {
 	in map[ir.Loc]lockSet
 	// entrySets[f] is the must-lockset at f's entry (∩ over call sites).
 	entrySets map[ir.FuncID]lockSet
+
+	// order accumulates the lock-order edges observed by Detect.
+	order []OrderEdge
 }
 
 // NewDetector prepares detection over an analysis. For best results the
 // analysis should have been run with core.Config.Demand selecting lock
 // pointers (see LockDemand).
 func NewDetector(a *core.Analysis, cfg Config) *Detector {
+	return NewDetectorSource(analysisSource{a}, cfg)
+}
+
+// NewDetectorSource prepares detection over any Source — the seam the
+// checker framework uses to route lock resolution through its
+// demand-driven, deadline-degrading query handle.
+func NewDetectorSource(src Source, cfg Config) *Detector {
 	cfg.fill()
+	prog := src.Program()
 	d := &Detector{
-		a: a, cfg: cfg,
+		src: src, prog: prog, cfg: cfg,
 		acquire:   map[ir.FuncID]bool{},
 		release:   map[ir.FuncID]bool{},
 		in:        map[ir.Loc]lockSet{},
 		entrySets: map[ir.FuncID]lockSet{},
 	}
 	for _, name := range cfg.AcquireNames {
-		if f, ok := a.Prog.FuncByName[name]; ok {
+		if f, ok := prog.FuncByName[name]; ok {
 			d.acquire[f] = true
 		}
 	}
 	for _, name := range cfg.ReleaseNames {
-		if f, ok := a.Prog.FuncByName[name]; ok {
+		if f, ok := prog.FuncByName[name]; ok {
 			d.release[f] = true
 		}
 	}
@@ -189,7 +225,7 @@ func LockDemand(v *ir.Var) bool { return v.IsLock }
 // Threads returns the thread entry functions.
 func (d *Detector) Threads() []ir.FuncID {
 	var out []ir.FuncID
-	for _, f := range d.a.Prog.Funcs {
+	for _, f := range d.prog.Funcs {
 		if strings.HasPrefix(f.Name, d.cfg.ThreadPrefix) {
 			out = append(out, f.ID)
 		}
@@ -203,7 +239,7 @@ func (d *Detector) resolveLock(arg ir.VarID, loc ir.Loc) (ir.VarID, bool) {
 	if arg == ir.NoVar {
 		return ir.NoVar, false
 	}
-	objs, precise := d.a.PointsTo(arg, loc)
+	objs, precise := d.src.PointsTo(arg, loc)
 	if !precise || len(objs) != 1 {
 		return ir.NoVar, false
 	}
@@ -212,7 +248,7 @@ func (d *Detector) resolveLock(arg ir.VarID, loc ir.Loc) (ir.VarID, bool) {
 
 // transfer applies the lock effect of the node at loc.
 func (d *Detector) transfer(loc ir.Loc, s lockSet) lockSet {
-	n := d.a.Prog.Node(loc)
+	n := d.prog.Node(loc)
 	if n.Stmt.Op != ir.OpCall || n.Stmt.Callee == ir.NoFunc {
 		return s
 	}
@@ -254,7 +290,7 @@ func (d *Detector) transfer(loc ir.Loc, s lockSet) lockSet {
 // locksets observed at each call site of non-special callees (for
 // interprocedural propagation).
 func (d *Detector) flowFunction(f ir.FuncID, entry lockSet) map[ir.FuncID]lockSet {
-	fn := d.a.Prog.Func(f)
+	fn := d.prog.Func(f)
 	callEntries := map[ir.FuncID]lockSet{}
 	d.in[fn.Entry] = intersect(d.in[fn.Entry], entry)
 	work := []ir.Loc{fn.Entry}
@@ -262,7 +298,7 @@ func (d *Detector) flowFunction(f ir.FuncID, entry lockSet) map[ir.FuncID]lockSe
 		loc := work[len(work)-1]
 		work = work[:len(work)-1]
 		out := d.transfer(loc, d.in[loc])
-		n := d.a.Prog.Node(loc)
+		n := d.prog.Node(loc)
 		if n.Stmt.Op == ir.OpCall && n.Stmt.Callee != ir.NoFunc &&
 			!d.acquire[n.Stmt.Callee] && !d.release[n.Stmt.Callee] {
 			cur, seen := callEntries[n.Stmt.Callee]
@@ -283,9 +319,12 @@ func (d *Detector) flowFunction(f ir.FuncID, entry lockSet) map[ir.FuncID]lockSe
 }
 
 // Detect runs the analysis and reports the races and all shared accesses.
+// It also (re)computes the lock-order edges returned by Order.
 func (d *Detector) Detect() ([]Race, []Access) {
-	prog := d.a.Prog
+	prog := d.prog
 	var accesses []Access
+	d.order = nil
+	orderSeen := map[OrderEdge]bool{}
 	for _, thread := range d.Threads() {
 		// Interprocedural must-lockset propagation: iterate over the
 		// functions reachable from this thread to a fixpoint of entry
@@ -313,11 +352,32 @@ func (d *Detector) Detect() ([]Race, []Access) {
 				}
 			}
 		}
-		// Collect shared accesses under the computed locksets.
+		// Collect shared accesses and lock-order edges under the computed
+		// (converged) locksets — transient fixpoint states are supersets
+		// of the final must-sets and would fabricate spurious edges.
 		for f := range entry {
 			accesses = append(accesses, d.collectAccesses(f, thread)...)
+			for _, e := range d.collectOrder(f, thread) {
+				if !orderSeen[e] {
+					orderSeen[e] = true
+					d.order = append(d.order, e)
+				}
+			}
 		}
 	}
+	sort.Slice(d.order, func(i, j int) bool {
+		a, b := d.order[i], d.order[j]
+		if a.Held != b.Held {
+			return a.Held < b.Held
+		}
+		if a.Acquired != b.Acquired {
+			return a.Acquired < b.Acquired
+		}
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		return a.Thread < b.Thread
+	})
 	sort.Slice(accesses, func(i, j int) bool {
 		if accesses[i].Loc != accesses[j].Loc {
 			return accesses[i].Loc < accesses[j].Loc
@@ -354,9 +414,52 @@ func (d *Detector) Detect() ([]Race, []Access) {
 	return races, accesses
 }
 
+// Order returns the lock-order edges observed by the last Detect call,
+// canonically sorted: for every acquisition site reached with a
+// non-empty must-lockset, one edge per (held, acquired) lock-object
+// pair. Valid only after Detect.
+func (d *Detector) Order() []OrderEdge { return d.order }
+
+// collectOrder lists f's lock-order edges under thread: at every reached
+// acquire site whose lock resolves to a must-singleton object, each
+// definitely-held lock precedes the acquired one.
+func (d *Detector) collectOrder(f, thread ir.FuncID) []OrderEdge {
+	fn := d.prog.Func(f)
+	var out []OrderEdge
+	for _, loc := range fn.Nodes {
+		held, reached := d.in[loc]
+		if !reached || held.isTop() || len(held) == 0 {
+			continue
+		}
+		st := d.prog.Node(loc).Stmt
+		if st.Op != ir.OpCall || st.Callee == ir.NoFunc || !d.acquire[st.Callee] {
+			continue
+		}
+		var arg ir.VarID = ir.NoVar
+		if len(st.Args) > 0 {
+			arg = st.Args[0]
+		}
+		obj, ok := d.resolveLock(arg, loc)
+		if !ok {
+			continue
+		}
+		hs := make([]ir.VarID, 0, len(held))
+		for h := range held {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+		for _, h := range hs {
+			if h != obj {
+				out = append(out, OrderEdge{Held: h, Acquired: obj, Loc: loc, Thread: thread})
+			}
+		}
+	}
+	return out
+}
+
 // collectAccesses lists the shared-object accesses of f under thread.
 func (d *Detector) collectAccesses(f, thread ir.FuncID) []Access {
-	prog := d.a.Prog
+	prog := d.prog
 	fn := prog.Func(f)
 	var out []Access
 	shared := func(v ir.VarID) bool {
@@ -401,7 +504,7 @@ func (d *Detector) collectAccesses(f, thread ir.FuncID) []Access {
 			add(st.Dst, true)
 		case ir.OpStore:
 			// The written objects are whatever the pointer may reference.
-			objs, _ := d.a.PointsTo(st.Dst, loc)
+			objs, _ := d.src.PointsTo(st.Dst, loc)
 			for _, o := range objs {
 				add(o, true)
 			}
@@ -409,7 +512,7 @@ func (d *Detector) collectAccesses(f, thread ir.FuncID) []Access {
 		case ir.OpTouch:
 			add(st.Dst, true)
 			if st.Src != ir.NoVar {
-				objs, _ := d.a.PointsTo(st.Src, loc)
+				objs, _ := d.src.PointsTo(st.Src, loc)
 				for _, o := range objs {
 					add(o, true)
 				}

@@ -19,6 +19,7 @@ package nullcheck
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"bootstrap/internal/core"
@@ -65,13 +66,75 @@ func (w Warning) Format(p *ir.Program) string {
 		w.Loc, fn, w.Severity, kind, p.VarName(w.Ptr))
 }
 
+// Fingerprint is the warning's stable identity: a hash of symbolic
+// content only (enclosing function, statement text, pointer name,
+// severity) — never raw locations — so the same warning keeps the same
+// fingerprint across runs, cache-warm reruns, and snapshot reloads of
+// the same source. Batch (aliaslint) and served (aliasd /check) output
+// agree byte-for-byte on it.
+func (w Warning) Fingerprint(p *ir.Program) string {
+	h := fnv.New64a()
+	for _, part := range []string{
+		"null-deref",
+		p.Func(p.Node(w.Loc).Fn).Name,
+		p.StmtString(w.Loc),
+		p.VarName(w.Ptr),
+		w.Severity.String(),
+		fmt.Sprint(w.Uninit),
+	} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// SortWarnings orders warnings canonically: by location, then pointer,
+// then severity (stronger last), then the uninit flag. Check and every
+// framework consumer use this exported ordering, so two runs over the
+// same snapshot render byte-identical reports.
+func SortWarnings(ws []Warning) {
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		if a.Ptr != b.Ptr {
+			return a.Ptr < b.Ptr
+		}
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		return !a.Uninit && b.Uninit
+	})
+}
+
+// Source is the analysis surface the checker consumes; *core.Analysis is
+// the classic provider (see Check), and the checker framework adapts its
+// deadline-scoped demand-driven handle.
+type Source interface {
+	Program() *ir.Program
+	ReachableFuncs() []ir.FuncID
+	DerefState(p ir.VarID, loc ir.Loc) (objs []ir.VarID, mayNull, mayUninit, precise bool)
+}
+
+// analysisSource adapts *core.Analysis to Source (DerefState promoted).
+type analysisSource struct{ *core.Analysis }
+
+func (s analysisSource) Program() *ir.Program { return s.Prog }
+func (s analysisSource) ReachableFuncs() []ir.FuncID {
+	return s.CallGraph.Reachable(s.Prog.Entry)
+}
+
 // Check scans every dereference site reachable from the entry function
-// and reports suspicious ones, ordered by location. The analysis should
-// have been built over the same program (any clustering mode).
-func Check(a *core.Analysis) []Warning {
-	prog := a.Prog
+// and reports suspicious ones, in SortWarnings order. The analysis
+// should have been built over the same program (any clustering mode).
+func Check(a *core.Analysis) []Warning { return CheckSource(analysisSource{a}) }
+
+// CheckSource is Check over any Source.
+func CheckSource(src Source) []Warning {
+	prog := src.Program()
 	reachable := map[ir.FuncID]bool{}
-	for _, f := range a.CallGraph.Reachable(prog.Entry) {
+	for _, f := range src.ReachableFuncs() {
 		reachable[f] = true
 	}
 	var out []Warning
@@ -93,7 +156,7 @@ func Check(a *core.Analysis) []Warning {
 		if ptr == ir.NoVar {
 			continue
 		}
-		objs, mayNull, mayUninit, precise := a.DerefState(ptr, n.Loc)
+		objs, mayNull, mayUninit, precise := src.DerefState(ptr, n.Loc)
 		switch {
 		case precise && (mayNull || mayUninit):
 			w := Warning{Loc: n.Loc, Ptr: ptr, Severity: MayBeNull, Uninit: !mayNull && mayUninit}
@@ -110,7 +173,7 @@ func Check(a *core.Analysis) []Warning {
 			// Imprecise with candidates: stay silent (favor low noise).
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	SortWarnings(out)
 	return out
 }
 

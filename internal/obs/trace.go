@@ -52,6 +52,8 @@ const tracePID = 1
 //	300 + i  alias-daemon query lane i (per-query spans, hashed over lanes)
 //	400 + s  distributed shard s (the coordinator's claim/steal/lease
 //	         spans for the workers serving that shard)
+//	500 + i  checker pass lane i (one per concurrently running
+//	         static-analysis pass)
 const (
 	TIDMain     = 0
 	TIDFallback = 1
@@ -60,6 +62,7 @@ const (
 	tidClustererBase = 200
 	tidQueryBase     = 300
 	tidShardBase     = 400
+	tidCheckBase     = 500
 )
 
 // WorkerTID returns the track of FSCS scheduler worker w.
@@ -75,6 +78,10 @@ func ShardTID(s int) int { return tidShardBase + s }
 // concurrent per-query spans on a bounded set of named tracks instead of
 // one goroutine-per-track explosion.
 func QueryTID(i int) int { return tidQueryBase + i }
+
+// CheckTID returns the track of checker pass lane i: each concurrently
+// running static-analysis pass gets its own named track.
+func CheckTID(i int) int { return tidCheckBase + i }
 
 // Tracer collects spans from many goroutines. Export order is canonical:
 // events sort by (tid, per-tid arrival), so any single-threaded track —

@@ -105,6 +105,43 @@ type LocksetResponse struct {
 	RetryAfterMS int64    `json:"retry_after_ms,omitempty"`
 }
 
+// CheckRequest is the body of POST /check (and /v1/check): run one
+// named static-analysis pass against the live snapshot.
+type CheckRequest struct {
+	// Pass names the checker pass: lockset, deadlock, nullcheck or uaf.
+	Pass string `json:"pass"`
+	// TimeoutMS overrides the server's per-query deadline, capped by it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CheckFinding is one diagnostic of a served check, mirroring the batch
+// checker's output: the fingerprint matches aliaslint's for the same
+// source, and Snapshot stamps which live snapshot produced it.
+type CheckFinding struct {
+	Rule        string `json:"rule"`
+	Severity    string `json:"severity"`
+	Loc         int64  `json:"loc"`
+	Func        string `json:"func"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+	Snapshot    int64  `json:"snapshot"`
+}
+
+// CheckResponse is the body of POST /check. Like /v1/lockset the pass
+// runs once per (snapshot, pass) pair; a request whose deadline fires
+// first gets ready=false and a retry hint while the run continues
+// server-side.
+type CheckResponse struct {
+	Ready bool   `json:"ready"`
+	Pass  string `json:"pass"`
+	// Incomplete reports the pass degraded mid-run (deadline expired):
+	// findings may be missing, never spurious.
+	Incomplete   bool           `json:"incomplete,omitempty"`
+	Findings     []CheckFinding `json:"findings,omitempty"`
+	Snapshot     int64          `json:"snapshot"`
+	RetryAfterMS int64          `json:"retry_after_ms,omitempty"`
+}
+
 // ChaosRequest arms (or, all-zero, disarms) the server's fault
 // injection. Only served when the daemon was started with chaos enabled.
 type ChaosRequest struct {

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"bootstrap/internal/check"
 	"bootstrap/internal/ir"
 	"bootstrap/internal/obs"
 )
@@ -18,6 +19,7 @@ import (
 //	POST /v1/mayalias   {"p":..,"q":..,"at":..}        may-alias query
 //	POST /v1/pointsto   {"p":..,"at":..}               points-to query
 //	POST /v1/lockset    {}                             race report (computed once per snapshot)
+//	POST /check         {"pass":"lockset"}             run one checker pass (also /v1/check)
 //	GET  /v1/info                                      snapshot + server state
 //	GET  /v1/vars                                      query population for load drivers
 //	POST /reload        {"source":..} | {"variant":n}  snapshot swap
@@ -39,6 +41,8 @@ func (s *Server) Handler() http.Handler {
 			s.handleQuery(w, r, kindPointsTo)
 		})
 		mux.HandleFunc("POST /v1/lockset", s.handleLockset)
+		mux.HandleFunc("POST /v1/check", s.handleCheck)
+		mux.HandleFunc("POST /check", s.handleCheck)
 		mux.HandleFunc("GET /v1/info", s.handleInfo)
 		mux.HandleFunc("GET /v1/vars", s.handleVars)
 		mux.HandleFunc("POST /reload", s.handleReload)
@@ -298,6 +302,62 @@ func (s *Server) handleLockset(w http.ResponseWriter, r *http.Request) {
 		Races:    res.races,
 		Snapshot: sn.ID,
 	})
+}
+
+// handleCheck runs one named checker pass against the live snapshot —
+// the served face of the aliaslint engine. The pass runs once per
+// (snapshot, pass) pair with its footprint clusters pre-solved through
+// the solve semaphore; every finding is stamped with the snapshot id
+// and carries the same fingerprint the batch run would produce.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "draining"})
+		return
+	}
+	sn := s.snap.Load()
+	if sn == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "no program loaded"})
+		return
+	}
+	var req CheckRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	pass, ok := check.Lookup(req.Pass)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("unknown pass %q", req.Pass)})
+		return
+	}
+	qctx, cancel := context.WithTimeout(r.Context(), s.queryDeadline(req.TimeoutMS))
+	defer cancel()
+	rep, ready := sn.CheckPass(qctx, s, pass)
+	if !ready {
+		writeJSON(w, http.StatusOK, CheckResponse{
+			Ready:        false,
+			Pass:         pass.Name(),
+			Snapshot:     sn.ID,
+			RetryAfterMS: s.retryAfter().Milliseconds(),
+		})
+		return
+	}
+	resp := CheckResponse{Ready: true, Pass: pass.Name(), Snapshot: sn.ID}
+	for _, res := range rep.Results {
+		resp.Incomplete = resp.Incomplete || res.Incomplete
+		for _, d := range res.Diags {
+			resp.Findings = append(resp.Findings, CheckFinding{
+				Rule:        d.Rule,
+				Severity:    d.Severity.String(),
+				Loc:         int64(d.Loc),
+				Func:        d.Func,
+				Message:     d.Message,
+				Fingerprint: d.Fingerprint,
+				Snapshot:    d.Snapshot,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleReload swaps in a new program under live traffic.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"bootstrap/internal/check"
 	"bootstrap/internal/core"
 	"bootstrap/internal/frontend"
 	"bootstrap/internal/ir"
@@ -34,6 +35,17 @@ type Snapshot struct {
 	lockOnce sync.Once
 	lockDone chan struct{}
 	lockRes  *locksetResult
+
+	// Checker runs are snapshot-scoped and memoized per pass name, with
+	// the same compute-once/share semantics as the lockset result.
+	checkMu   sync.Mutex
+	checkRuns map[string]*checkRun
+}
+
+// checkRun is one memoized (snapshot, pass) checker execution.
+type checkRun struct {
+	done chan struct{}
+	rep  *check.Report
 }
 
 type locksetResult struct {
@@ -55,11 +67,12 @@ func (s *Server) buildSnapshot(ctx context.Context, id int64, desc, src string) 
 		return nil, fmt.Errorf("analyze %q: %w", desc, err)
 	}
 	return &Snapshot{
-		ID:       id,
-		Desc:     desc,
-		Prog:     prog,
-		A:        a,
-		lockDone: make(chan struct{}),
+		ID:        id,
+		Desc:      desc,
+		Prog:      prog,
+		A:         a,
+		lockDone:  make(chan struct{}),
+		checkRuns: map[string]*checkRun{},
 	}, nil
 }
 
@@ -155,4 +168,66 @@ func (sn *Snapshot) computeLockset(s *Server) {
 		res.races = append(res.races, r.Format(sn.Prog))
 	}
 	sn.lockRes = res
+}
+
+// CheckPass runs one named checker pass against this snapshot, at most
+// once per (snapshot, pass): the first request starts the run, later
+// requests share it, and a request whose ctx expires first gets
+// ready=false while the run continues for future callers.
+func (sn *Snapshot) CheckPass(ctx context.Context, s *Server, pass check.Pass) (*check.Report, bool) {
+	sn.checkMu.Lock()
+	run, ok := sn.checkRuns[pass.Name()]
+	if !ok {
+		run = &checkRun{done: make(chan struct{})}
+		sn.checkRuns[pass.Name()] = run
+		go sn.computeCheck(s, pass, run)
+	}
+	sn.checkMu.Unlock()
+	select {
+	case <-run.done:
+		return run.rep, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+func (sn *Snapshot) computeCheck(s *Server, pass check.Pass, run *checkRun) {
+	defer close(run.done)
+	// Pre-solve only the pass's footprint clusters (demand-driven: lock
+	// pointers for lockset/deadlock, dereferenced pointers for
+	// nullcheck/uaf), each solve holding one solve-semaphore slot so
+	// checker warmup shares capacity fairly with cold user queries.
+	pred := pass.Footprint(sn.Prog)
+	var wg sync.WaitGroup
+	for _, c := range sn.A.Clusters {
+		if sn.A.ClusterSolved(c.ID) {
+			continue
+		}
+		needed := false
+		for _, p := range c.Pointers {
+			if pred(sn.Prog.Var(p)) {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		wg.Add(1)
+		s.solveSem <- struct{}{}
+		go func(id int) {
+			defer wg.Done()
+			defer func() { <-s.solveSem }()
+			sn.A.EnsureCluster(context.Background(), id)
+		}(c.ID)
+	}
+	wg.Wait()
+
+	run.rep = check.Run(context.Background(), sn.A, check.Options{
+		Passes:   []check.Pass{pass},
+		Source:   sn.Desc,
+		Snapshot: sn.ID,
+		Tracer:   s.cfg.Tracer,
+		Metrics:  s.cfg.Metrics,
+	})
 }

@@ -1,0 +1,212 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LockHeavy generates checker workloads: driver-style CPL programs with
+// many thread entries, locks, and guarded shared accesses, plus a known
+// set of seeded bugs (unguarded racy writes, a lock-order inversion,
+// use-after-free and double-free sites). The checker benchmark asserts
+// 100% recall of the seeded bugs and uses the workloads for wall-time
+// measurement; the differential tests use them as adversarial inputs.
+//
+// Generation is fully deterministic — the same config always yields the
+// same source and the same seeded-bug list — so findings counts and
+// fingerprints are comparable across runs and machines.
+
+// LockHeavyConfig shapes one workload.
+type LockHeavyConfig struct {
+	// Threads is the number of thread entry functions (≥ 2 so seeded
+	// races pair distinct threads).
+	Threads int
+	// Locks is the number of global lock objects (≥ 2 when Inversion).
+	Locks int
+	// GuardedPerThread is the number of correctly-guarded shared-counter
+	// updates per thread (each guarded by the counter's own lock — these
+	// must produce no findings).
+	GuardedPerThread int
+	// UnguardedPerThread is the number of unguarded read-only accesses
+	// per thread (reads never race — no findings).
+	UnguardedPerThread int
+	// Races seeds that many shared variables each written unguarded by
+	// two distinct threads.
+	Races int
+	// UAFs seeds that many use-after-free sites (helper functions called
+	// from main: free through one pointer, dereference through an alias).
+	UAFs int
+	// DoubleFrees seeds that many double-free sites.
+	DoubleFrees int
+	// Inversion seeds one lock-order inversion: two threads acquiring
+	// m0/m1 in opposite orders.
+	Inversion bool
+}
+
+// SeededBug is one intentionally-planted defect: the rule that should
+// fire and the variable its message must mention.
+type SeededBug struct {
+	Rule string // "race", "deadlock", "use-after-free", "double-free"
+	Var  string
+}
+
+// LockHeavy renders the workload source and its seeded-bug inventory.
+func LockHeavy(cfg LockHeavyConfig) (string, []SeededBug) {
+	if cfg.Threads < 2 {
+		cfg.Threads = 2
+	}
+	if cfg.Locks < 1 {
+		cfg.Locks = 1
+	}
+	if cfg.Inversion && cfg.Locks < 2 {
+		cfg.Locks = 2
+	}
+	var b strings.Builder
+	var bugs []SeededBug
+
+	// Globals: locks, their guarded counters, read-only data, race seeds.
+	for l := 0; l < cfg.Locks; l++ {
+		fmt.Fprintf(&b, "lock m%d;\n", l)
+	}
+	for l := 0; l < cfg.Locks; l++ {
+		fmt.Fprintf(&b, "int gs%d;\n", l)
+	}
+	for u := 0; u < cfg.UnguardedPerThread; u++ {
+		fmt.Fprintf(&b, "int u%d;\n", u)
+	}
+	for i := 0; i < cfg.Races; i++ {
+		fmt.Fprintf(&b, "int r%d;\n", i)
+		bugs = append(bugs, SeededBug{Rule: "race", Var: fmt.Sprintf("r%d", i)})
+	}
+	if cfg.Inversion {
+		b.WriteString("int gi;\n")
+		bugs = append(bugs, SeededBug{Rule: "deadlock", Var: "m0"})
+	}
+	b.WriteString("\nvoid acquire(lock *l) { }\nvoid release(lock *l) { }\n")
+
+	// Thread entries: guarded counter updates (each under the counter's
+	// own lock, never nested — so the only lock-order edges come from
+	// the seeded inversion), unguarded read-only loads, and the seeded
+	// unguarded racy writes.
+	for t := 0; t < cfg.Threads; t++ {
+		fmt.Fprintf(&b, "\nvoid thread_w%d() {\n", t)
+		b.WriteString("\tint tv;\n")
+		for g := 0; g < cfg.GuardedPerThread; g++ {
+			l := (t + g) % cfg.Locks
+			fmt.Fprintf(&b, "\tlock *lk%d;\n", g)
+			fmt.Fprintf(&b, "\tlk%d = &m%d;\n", g, l)
+			fmt.Fprintf(&b, "\tacquire(lk%d);\n", g)
+			fmt.Fprintf(&b, "\tgs%d = gs%d + 1;\n", l, l)
+			fmt.Fprintf(&b, "\trelease(lk%d);\n", g)
+		}
+		for u := 0; u < cfg.UnguardedPerThread; u++ {
+			fmt.Fprintf(&b, "\ttv = u%d;\n", u)
+		}
+		for i := 0; i < cfg.Races; i++ {
+			if a, c := (2*i)%cfg.Threads, (2*i+1)%cfg.Threads; t == a || t == c {
+				fmt.Fprintf(&b, "\tr%d = 1;\n", i)
+			}
+		}
+		b.WriteString("}\n")
+	}
+
+	if cfg.Inversion {
+		b.WriteString(`
+void thread_inva() {
+	lock *la;
+	lock *lb;
+	la = &m0;
+	lb = &m1;
+	acquire(la);
+	acquire(lb);
+	gi = 1;
+	release(lb);
+	release(la);
+}
+
+void thread_invb() {
+	lock *la;
+	lock *lb;
+	la = &m0;
+	lb = &m1;
+	acquire(lb);
+	acquire(la);
+	gi = 2;
+	release(la);
+	release(lb);
+}
+`)
+	}
+
+	// Memory-bug sites live in helpers called from main (not threads), so
+	// the heap traffic stays out of the race detector's shared-access
+	// set.
+	for k := 0; k < cfg.UAFs; k++ {
+		fmt.Fprintf(&b, "\nvoid uaf_site%d() {\n", k)
+		fmt.Fprintf(&b, "\tint *ua%d;\n\tint *ub%d;\n", k, k)
+		fmt.Fprintf(&b, "\tua%d = malloc;\n", k)
+		fmt.Fprintf(&b, "\tub%d = ua%d;\n", k, k)
+		fmt.Fprintf(&b, "\tfree(ua%d);\n", k)
+		fmt.Fprintf(&b, "\t*ub%d = 1;\n", k)
+		b.WriteString("}\n")
+		bugs = append(bugs, SeededBug{Rule: "use-after-free", Var: fmt.Sprintf("ub%d", k)})
+	}
+	for k := 0; k < cfg.DoubleFrees; k++ {
+		fmt.Fprintf(&b, "\nvoid dfree_site%d() {\n", k)
+		fmt.Fprintf(&b, "\tint *da%d;\n", k)
+		fmt.Fprintf(&b, "\tda%d = malloc;\n", k)
+		fmt.Fprintf(&b, "\tfree(da%d);\n", k)
+		fmt.Fprintf(&b, "\tfree(da%d);\n", k)
+		b.WriteString("}\n")
+		bugs = append(bugs, SeededBug{Rule: "double-free", Var: fmt.Sprintf("da%d", k)})
+	}
+
+	b.WriteString("\nvoid main() {\n")
+	for t := 0; t < cfg.Threads; t++ {
+		fmt.Fprintf(&b, "\tthread_w%d();\n", t)
+	}
+	if cfg.Inversion {
+		b.WriteString("\tthread_inva();\n\tthread_invb();\n")
+	}
+	for k := 0; k < cfg.UAFs; k++ {
+		fmt.Fprintf(&b, "\tuaf_site%d();\n", k)
+	}
+	for k := 0; k < cfg.DoubleFrees; k++ {
+		fmt.Fprintf(&b, "\tdfree_site%d();\n", k)
+	}
+	b.WriteString("}\n")
+	return b.String(), bugs
+}
+
+// LockHeavyWorkload is a named preset for benchmarks and the aliaslint
+// -synth flag.
+type LockHeavyWorkload struct {
+	Name string
+	Cfg  LockHeavyConfig
+}
+
+// LockHeavyWorkloads returns the benchmark presets, smallest first.
+func LockHeavyWorkloads() []LockHeavyWorkload {
+	return []LockHeavyWorkload{
+		{Name: "lockheavy_small", Cfg: LockHeavyConfig{
+			Threads: 4, Locks: 4, GuardedPerThread: 3, UnguardedPerThread: 2,
+			Races: 2, UAFs: 1, DoubleFrees: 1, Inversion: true}},
+		{Name: "lockheavy_medium", Cfg: LockHeavyConfig{
+			Threads: 8, Locks: 8, GuardedPerThread: 4, UnguardedPerThread: 3,
+			Races: 3, UAFs: 2, DoubleFrees: 2, Inversion: true}},
+		{Name: "lockheavy_large", Cfg: LockHeavyConfig{
+			Threads: 16, Locks: 12, GuardedPerThread: 6, UnguardedPerThread: 4,
+			Races: 4, UAFs: 3, DoubleFrees: 3, Inversion: true}},
+	}
+}
+
+// LockHeavyByName resolves a preset name to its source and seeded bugs.
+func LockHeavyByName(name string) (string, []SeededBug, bool) {
+	for _, w := range LockHeavyWorkloads() {
+		if w.Name == name {
+			src, bugs := LockHeavy(w.Cfg)
+			return src, bugs, true
+		}
+	}
+	return "", nil, false
+}
