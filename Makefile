@@ -26,7 +26,7 @@ SERVE_BENCH = sock
 SHARD_ROWS  = autofs
 SHARD_SCALE = 0.5
 
-.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench shard-bench shard-baseline checker-bench checker-baseline examples
+.PHONY: all build test race vet fmt staticcheck lint check bench bench-baseline serve-bench shard-bench shard-baseline checker-bench checker-baseline incremental-bench incremental-baseline examples
 
 all: check
 
@@ -101,6 +101,21 @@ checker-bench:
 # it when a PR changes what the passes find on purpose.
 checker-baseline:
 	$(GO) run ./cmd/benchtab -check -check-json BENCH_check.json
+
+# incremental-bench is CI's streaming-mode gate: a deterministic storm
+# of single-statement edits per workload through core.ApplyEdit, with
+# every edit timed edit-to-answer and every Nth edited program
+# differentially checked against a from-scratch analysis. The fresh
+# report is asserted for the p50 latency budget, the dirty-cluster
+# reuse floor, zero fallbacks, identity, and workload-set equality with
+# the committed BENCH_incremental.json.
+incremental-bench:
+	$(GO) run ./cmd/benchtab -incremental -scale $(BENCH_SCALE) -incr-json BENCH_incr_fresh.json -assert -baseline BENCH_incremental.json
+
+# incremental-baseline re-measures and commits the incremental baseline
+# — run it when a PR changes the edit path's shape on purpose.
+incremental-baseline:
+	$(GO) run ./cmd/benchtab -incremental -scale $(BENCH_SCALE) -incr-json BENCH_incremental.json
 
 # examples builds and runs every examples/ binary — the consumer-facing
 # API smoke test. Each example must exit 0.

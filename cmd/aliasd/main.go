@@ -20,6 +20,10 @@
 //	GET  /v1/info     GET /v1/vars
 //	POST /reload      {"source": "..."} or {"variant": 3} (re-reads the
 //	                  program file / re-synthesizes the workload)
+//	POST /edit        {"edits":[{"action":"replace","loc":41,...}]} apply
+//	                  an edit batch incrementally: only dirty clusters
+//	                  re-solve, the rest of the snapshot is reused
+//	GET  /subscribe   SSE stream of snapshot/cluster/invalidate events
 //	POST /chaos       (with -chaos) arm deterministic fault injection
 //	GET  /healthz     GET /readyz
 //	GET  /metrics     /debug/vars  /debug/pprof/*  (with -trace/-metrics flags or by default registry)
@@ -56,6 +60,7 @@ var (
 	synthName    = flag.String("synth", "", "serve a synthesized Table 1 workload (e.g. autofs) instead of a program file")
 	synthScale   = flag.Float64("synth-scale", 0.12, "scale factor for -synth (1.0 = paper-sized)")
 	queryTimeout = flag.Duration("query-timeout", 2*time.Second, "per-query deadline; on expiry the answer degrades to the flow-insensitive fallback")
+	editTimeout  = flag.Duration("edit-timeout", 15*time.Second, "per-edit-batch deadline for POST /edit; on expiry the batch is rejected and the old snapshot keeps serving")
 	queueDepth   = flag.Int("queue-depth", 64, "cold queries allowed to wait for a solve slot before shedding with 429")
 	maxSolves    = flag.Int("max-solves", 0, "concurrent cluster solves (0 = GOMAXPROCS)")
 	drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound after SIGTERM/SIGINT")
@@ -157,6 +162,7 @@ func run(path string, stop <-chan struct{}) (err error) {
 	s := serve.New(serve.Config{
 		Analysis:     acfg,
 		QueryTimeout: *queryTimeout,
+		EditTimeout:  *editTimeout,
 		QueueDepth:   *queueDepth,
 		MaxSolves:    *maxSolves,
 		DrainTimeout: *drainTimeout,

@@ -57,6 +57,10 @@ var (
 	checkBench = flag.Bool("check", false, "run the checker benchmark instead: every lockheavy preset cold then warm, seeded-bug recall, cold/warm digest drift; with -assert, gate against -baseline BENCH_check.json")
 	checkJSON  = flag.String("check-json", "", "with -check, write the checker report to this file")
 
+	incrBench = flag.Bool("incremental", false, "run the incremental-edit benchmark instead: a deterministic storm of single-statement edits per workload through core.ApplyEdit, measuring edit-to-answer latency, dirty-cluster fraction and differential identity; with -assert, gate latency/reuse/identity invariants and workload-set equality against -baseline BENCH_incremental.json")
+	incrJSON  = flag.String("incr-json", "", "with -incremental, write the incremental report to this file")
+	incrEdits = flag.String("edits", incrBenchRows, "with -incremental, comma-separated workloads for the edit storm")
+
 	obsFlags  cliutil.ObsFlags
 	distFlags cliutil.DistFlags
 )
@@ -65,6 +69,11 @@ var (
 // four largest BENCH_ROWS workloads, where sharding has enough cluster
 // weight to matter.
 const shardBenchRows = "sock,autofs,raid,mt_daapd"
+
+// incrBenchRows is the default suite of the -incremental edit storm:
+// the same four workloads, where the cover is wide enough that
+// single-statement edits leave most clusters untouched.
+const incrBenchRows = "sock,autofs,raid,mt_daapd"
 
 func init() {
 	obsFlags.Register(flag.CommandLine)
@@ -83,6 +92,9 @@ func main() {
 func run(out io.Writer) (err error) {
 	if *checkBench {
 		return runCheck(out)
+	}
+	if *incrBench {
+		return runIncr(out)
 	}
 	if *assert && !distFlags.Enabled() && *shardJSON == "" {
 		return runAssert(out, *baseline, *fresh)
@@ -267,6 +279,60 @@ func runCheck(out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\ncheck gate: %d workloads at full recall, zero drift, warm reruns fully cached\n",
 			len(report.Points))
+	}
+	return nil
+}
+
+// runIncr is the incremental-edit benchmark: per workload, a full
+// analysis followed by a deterministic storm of single-statement edits
+// through core.ApplyEdit, each timed edit-to-answer, with periodic
+// differential checks against a from-scratch analysis. Under -assert it
+// gates the fresh report's latency budget, dirty-cluster reuse floor,
+// zero-fallback and identity-check invariants, plus workload-set
+// equality against the committed baseline.
+func runIncr(out io.Writer) error {
+	var names []string
+	for _, name := range strings.Split(*incrEdits, ",") {
+		names = append(names, strings.TrimSpace(name))
+	}
+	report, err := bench.IncrPerf(names, *scale, os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Incremental edit storm (ApplyEdit, edit-to-answer latency):")
+	fmt.Fprintln(out)
+	fmt.Fprint(out, bench.FormatIncr(report))
+	if *incrJSON != "" {
+		f, err := os.Create(*incrJSON)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteIncrJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s (%d workloads)\n", *incrJSON, len(report.Points))
+	}
+	if *assert {
+		var base *bench.IncrReport
+		if *baseline != "" {
+			base, err = bench.ReadIncrJSONFile(*baseline)
+			if err != nil {
+				return err
+			}
+		}
+		errs := bench.AssertIncr(base, report)
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchtab: incremental gate:", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d incremental invariant(s) violated", len(errs))
+		}
+		fmt.Fprintf(out, "\nincremental gate: %d workloads under the %dms p50 CI budget, dirty fraction under %.0f%%, zero fallbacks, identity held\n",
+			len(report.Points), bench.IncrP50BudgetUS/1000, bench.IncrDirtyFracLimit*100)
 	}
 	return nil
 }

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestIncrPerfSmall runs a tiny edit storm end-to-end and checks the
+// report's internal consistency plus the gate's own invariants.
+func TestIncrPerfSmall(t *testing.T) {
+	report, err := IncrPerf([]string{"sock"}, 0.05, io.Discard)
+	if err != nil {
+		t.Fatalf("IncrPerf: %v", err)
+	}
+	if len(report.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(report.Points))
+	}
+	pt := report.Points[0]
+	if pt.Edits != incrEditCount {
+		t.Errorf("edits %d, want %d", pt.Edits, incrEditCount)
+	}
+	if pt.IdentityChecks != incrEditCount/incrIdentityEvery {
+		t.Errorf("identity checks %d, want %d", pt.IdentityChecks, incrEditCount/incrIdentityEvery)
+	}
+	if pt.Fallbacks != 0 {
+		t.Errorf("%d fallbacks on statement-only edits", pt.Fallbacks)
+	}
+	if pt.DirtyFrac <= 0 || pt.DirtyFrac >= 1 {
+		t.Errorf("dirty fraction %.3f out of range", pt.DirtyFrac)
+	}
+	if pt.P50US <= 0 || pt.P95US < pt.P50US {
+		t.Errorf("latency percentiles inconsistent: p50 %d, p95 %d", pt.P50US, pt.P95US)
+	}
+
+	// Gate accepts its own fresh run against itself as baseline.
+	if errs := AssertIncr(report, report); len(errs) != 0 {
+		t.Fatalf("self-assert failed: %v", errs)
+	}
+
+	// Workload-set drift is caught both ways.
+	other := &IncrReport{Points: []IncrPoint{{
+		Workload: "ghost", Edits: 1, IdentityChecks: 1,
+		P50US: 1, P95US: 1, MeanUS: 1, DirtyFrac: 0.01, Speedup: 100,
+	}}}
+	errs := AssertIncr(report, other)
+	if len(errs) != 2 {
+		t.Fatalf("expected 2 workload-set errors, got %v", errs)
+	}
+
+	// Round trip through JSON.
+	var sb strings.Builder
+	if err := WriteIncrJSON(&sb, report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"workload": "sock"`) {
+		t.Fatalf("bad JSON: %s", sb.String())
+	}
+	if FormatIncr(report) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestAssertIncrViolations: each gate fires on a report that breaks it.
+func TestAssertIncrViolations(t *testing.T) {
+	bad := &IncrReport{Points: []IncrPoint{{
+		Workload:       "w",
+		Edits:          10,
+		P50US:          IncrP50BudgetUS + 1,
+		P95US:          IncrP50BudgetUS + 1,
+		DirtyFrac:      0.5,
+		Speedup:        1.0,
+		Fallbacks:      2,
+		IdentityChecks: 0,
+	}}}
+	errs := AssertIncr(nil, bad)
+	if len(errs) != 5 {
+		t.Fatalf("expected 5 violations, got %d: %v", len(errs), errs)
+	}
+	if errs := AssertIncr(nil, &IncrReport{}); len(errs) != 1 {
+		t.Fatalf("empty report must fail: %v", errs)
+	}
+}

@@ -58,6 +58,15 @@ type Cluster struct {
 	Stmts    []ir.Loc    // St_P, sorted
 	Funcs    []ir.FuncID // functions containing St_P statements, sorted
 
+	// Part is the member list of the Steensgaard partition this cluster
+	// was carved from (shared, not copied; nil for covers built outside
+	// BuildPartitionWithBase). It disambiguates provenance where the
+	// pointer set cannot: a sink pointer belongs to several overlapping
+	// partitions, so a sink-only Andersen sub-cluster is attributable
+	// only through this record. Incremental reanalysis keys partition
+	// reuse on it.
+	Part []ir.VarID
+
 	varSet  map[ir.VarID]bool
 	stmtSet map[ir.Loc]bool
 }
@@ -316,12 +325,33 @@ const DefaultAndersenThreshold = 60
 // (sorted member keys). Safe to call concurrently — the Index is read-only
 // after construction and each call runs its own Andersen solver.
 func buildPartition(ix *Index, part []ir.VarID, threshold int, aopts []andersen.Option) []*Cluster {
+	_, cs := BuildPartitionWithBase(ix, part, threshold, aopts)
+	return cs
+}
+
+// NewWithIndex assembles one cluster over a prebuilt shared Index — the
+// bulk-construction seam New wraps for single callers. Incremental
+// reanalysis uses it to recompute a partition's Algorithm-1 base slice
+// without paying a fresh whole-program index per partition.
+func NewWithIndex(ix *Index, id int, kind Kind, pointers []ir.VarID) *Cluster {
+	return newCluster(ix, id, kind, pointers)
+}
+
+// BuildPartitionWithBase computes one Steensgaard partition's
+// contribution to the Andersen-refined cover (IDs left 0 for the caller
+// to assign) along with the partition's base Steensgaard cluster — the
+// Algorithm-1 slice over the whole partition that the refinement was
+// restricted to. A nil base means the partition is alias-free and
+// contributes nothing. Deterministic and safe for concurrent calls over
+// a shared Index.
+func BuildPartitionWithBase(ix *Index, part []ir.VarID, threshold int, aopts []andersen.Option) (*Cluster, []*Cluster) {
 	base := newCluster(ix, 0, KindSteensgaard, part)
+	base.Part = part
 	if len(base.Stmts) == 0 {
-		return nil // alias-free (see BuildSteensgaard)
+		return nil, nil // alias-free (see BuildSteensgaard)
 	}
 	if len(part) <= threshold {
-		return []*Cluster{base}
+		return base, []*Cluster{base}
 	}
 	// Oversized: Andersen restricted to the partition's slice. Copy the
 	// caller's options before appending — concurrent buildPartition calls
@@ -352,7 +382,7 @@ func buildPartition(ix *Index, part []ir.VarID, threshold int, aopts []andersen.
 	}
 	if len(sets) == 0 {
 		// Andersen found no aliasing structure; keep the partition.
-		return []*Cluster{base}
+		return base, []*Cluster{base}
 	}
 	keys := make([]string, 0, len(sets))
 	for k := range sets {
@@ -361,9 +391,11 @@ func buildPartition(ix *Index, part []ir.VarID, threshold int, aopts []andersen.
 	sort.Strings(keys)
 	out := make([]*Cluster, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, newCluster(ix, 0, KindAndersen, sets[k]))
+		c := newCluster(ix, 0, KindAndersen, sets[k])
+		c.Part = part
+		out = append(out, c)
 	}
-	return out
+	return base, out
 }
 
 // BuildAndersen refines a Steensgaard cover with Andersen clustering:

@@ -236,8 +236,12 @@ type Analysis struct {
 	// the window includes the other runs' traffic.
 	CacheStats cache.Stats
 
-	cfg       Config
-	mu        sync.Mutex
+	cfg Config
+	// mu serializes engine access (engines are single-threaded). It is a
+	// pointer because ApplyEdit transplants engines from the previous
+	// analysis into its successor: both generations must serialize
+	// through the same lock while old-snapshot queries drain.
+	mu        *sync.Mutex
 	engines   map[int]*fscs.Engine
 	selected  map[int]*cluster.Cluster // clusters eligible for engines (lazy mode)
 	byPointer map[ir.VarID][]int       // pointer -> cluster ids containing it
@@ -246,6 +250,13 @@ type Analysis struct {
 	// solves and the health of clusters solved on first touch.
 	solving     map[int]*inflight
 	queryHealth map[int]ClusterHealth
+
+	// partBases caches, per Steensgaard partition (keyed by member
+	// list), the partition's Algorithm-1 base slice. ApplyEdit consults
+	// it to decide partition reuse without recomputing the slice and
+	// refreshes it for the successor analysis; nil after a from-scratch
+	// run (ApplyEdit then computes bases on first use).
+	partBases map[string]*cluster.Cluster
 }
 
 // AnalyzeSource parses, lowers and analyzes CPL source text.

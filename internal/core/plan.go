@@ -92,6 +92,7 @@ func newAnalysis(prog *ir.Program, cfg Config) *Analysis {
 	return &Analysis{
 		Prog:        prog,
 		cfg:         cfg,
+		mu:          &sync.Mutex{},
 		engines:     map[int]*fscs.Engine{},
 		selected:    map[int]*cluster.Cluster{},
 		byPointer:   map[ir.VarID][]int{},

@@ -20,6 +20,16 @@ import (
 // When prev already ran with a Config.Cache, that cache is reused as-is
 // (prev's solves populated it). Otherwise a fresh in-memory cache is
 // created and warmed from prev's live engines.
+//
+// Reanalyze is also the safety net under ApplyEdit: whenever an edit
+// batch changes something the cluster-dirtiness mapping cannot express —
+// a function added, removed or rebuilt, a call or return statement
+// rewritten (any of which changes a function signature or the shape of
+// the call graph), or any change that can alter the cluster cover
+// itself — ApplyEdit falls back to this full path and reports
+// EditReport.FellBack. The fall-back is still warm: unaffected clusters
+// fingerprint-match prev's cached results and import instead of
+// solving, so "full" means full cover construction, not full solving.
 func Reanalyze(prev *Analysis, newProg *ir.Program) (*Analysis, error) {
 	return ReanalyzeContext(context.Background(), prev, newProg)
 }

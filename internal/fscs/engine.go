@@ -519,3 +519,24 @@ func (e *Engine) tupleList(m tupSet) []SumTuple {
 	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
 	return out
 }
+
+// Rebind repoints a solved engine at a structurally equivalent successor
+// program. core.ApplyEdit reuses engines of clusters whose Algorithm-1
+// slice is untouched by an edit batch: every VarID, FuncID and Loc the
+// slice names is identical in the new program, so the memoized summaries
+// and value sets remain exact. What must swap is everything keyed or
+// sized by the program as a whole: the program itself (inserted nodes
+// extend the Loc space), the call graph, the Steensgaard analysis (the
+// slice's classes are isomorphic or the cluster would be dirty), the
+// Andersen fallback (widened answers must match a fresh run on the new
+// program), and the cluster object carrying the new cover's ID. The
+// walk scratch free list is dropped because its per-location buckets are
+// sized to len(prog.Nodes); it re-grows lazily.
+func (e *Engine) Rebind(p *ir.Program, cg *callgraph.Graph, sa *steens.Analysis, cl *cluster.Cluster, fallback *andersen.Analysis) {
+	e.prog = p
+	e.cg = cg
+	e.sa = sa
+	e.cl = cl
+	e.fallback = fallback
+	e.scratch = nil
+}

@@ -1,0 +1,273 @@
+package ir_test
+
+import (
+	"testing"
+
+	"bootstrap/internal/frontend"
+	"bootstrap/internal/ir"
+)
+
+const editProgA = `
+	int a, b, c;
+	int *x, *y, *p;
+	void main() {
+		x = &a;
+		y = &b;
+		p = &c;
+		x = y;
+	}
+`
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := frontend.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+// findStmt returns the location of the first statement matching op with
+// the given destination name.
+func findStmt(t *testing.T, p *ir.Program, op ir.Op, dst string) ir.Loc {
+	t.Helper()
+	want := p.VarByName[dst]
+	for _, n := range p.Nodes {
+		if n.Stmt.Op == op && n.Stmt.Dst == want {
+			return n.Loc
+		}
+	}
+	t.Fatalf("no %v statement with dst %q", op, dst)
+	return ir.NoLoc
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := lower(t, editProgA)
+	q := p.Clone()
+	loc := findStmt(t, q, ir.OpCopy, "x")
+	q.Node(loc).Stmt.Op = ir.OpSkip
+	q.AddVar("zzz", ir.KindGlobal, ir.NoFunc)
+	if p.Node(loc).Stmt.Op != ir.OpCopy {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if _, ok := p.VarByName["zzz"]; ok {
+		t.Fatal("clone AddVar leaked into original")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+}
+
+func TestApplyReplaceDeleteInsert(t *testing.T) {
+	p := lower(t, editProgA).Clone()
+	locCopy := findStmt(t, p, ir.OpCopy, "x")
+	locAddr := findStmt(t, p, ir.OpAddr, "p")
+	x, px := p.VarByName["x"], p.VarByName["p"]
+	sum, err := ir.ApplyEdits(p, []ir.Edit{
+		{Kind: ir.EditReplaceStmt, Loc: locCopy, Stmt: ir.Stmt{Op: ir.OpCopy, Dst: x, Src: px, Callee: ir.NoFunc, FPtr: ir.NoVar}},
+		{Kind: ir.EditDeleteStmt, Loc: locAddr},
+		{Kind: ir.EditInsertAfter, Loc: locCopy, Stmt: ir.Stmt{Op: ir.OpNullify, Dst: px, Src: ir.NoVar, Callee: ir.NoFunc, FPtr: ir.NoVar}},
+	})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("edited program invalid: %v", err)
+	}
+	if sum.Structural {
+		t.Fatalf("statement edits must not be structural: %s", sum.Reason)
+	}
+	if p.Node(locCopy).Stmt.Src != px {
+		t.Fatal("replace not applied")
+	}
+	if p.Node(locAddr).Stmt.Op != ir.OpSkip {
+		t.Fatal("delete did not tombstone")
+	}
+	// The inserted node sits between locCopy and its old successors.
+	if len(p.Node(locCopy).Succs) != 1 {
+		t.Fatalf("anchor succs = %v", p.Node(locCopy).Succs)
+	}
+	ins := p.Node(locCopy).Succs[0]
+	if got := p.Node(ins).Stmt.Op; got != ir.OpNullify {
+		t.Fatalf("spliced node has op %v", got)
+	}
+	for _, v := range []ir.VarID{x, px} {
+		found := false
+		for _, sv := range sum.Vars {
+			if sv == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("summary vars %v missing %d", sum.Vars, v)
+		}
+	}
+	if len(sum.ShapeFns) != 1 {
+		t.Fatalf("insert should record one shape-changed function, got %v", sum.ShapeFns)
+	}
+}
+
+func TestApplyEditErrors(t *testing.T) {
+	p := lower(t, editProgA).Clone()
+	if _, err := ir.ApplyEdits(p, []ir.Edit{{Kind: ir.EditReplaceStmt, Loc: ir.Loc(99999)}}); err == nil {
+		t.Fatal("out-of-range loc accepted")
+	}
+	p = lower(t, editProgA).Clone()
+	if _, err := ir.ApplyEdits(p, []ir.Edit{{Kind: ir.EditAddVar, Name: "x"}}); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+	p = lower(t, editProgA).Clone()
+	if _, err := ir.ApplyEdits(p, []ir.Edit{{Kind: ir.EditRemoveFunc, Name: "nosuch"}}); err == nil {
+		t.Fatal("removing unknown function accepted")
+	}
+}
+
+func TestCallEditIsStructural(t *testing.T) {
+	src := `
+		int a;
+		int *g;
+		void callee() { g = &a; }
+		void main() { callee(); }
+	`
+	p := lower(t, src).Clone()
+	var callLoc ir.Loc = ir.NoLoc
+	for _, n := range p.Nodes {
+		if n.Stmt.Op == ir.OpCall {
+			callLoc = n.Loc
+		}
+	}
+	if callLoc == ir.NoLoc {
+		t.Fatal("no call")
+	}
+	sum, err := ir.ApplyEdits(p, []ir.Edit{{Kind: ir.EditDeleteStmt, Loc: callLoc}})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !sum.Structural {
+		t.Fatal("deleting a call must be structural")
+	}
+}
+
+func TestDiffReplaceRoundTrip(t *testing.T) {
+	srcB := `
+	int a, b, c;
+	int *x, *y, *p;
+	void main() {
+		x = &a;
+		y = &c;
+		p = &c;
+		x = y;
+	}
+`
+	old := lower(t, editProgA)
+	new := lower(t, srcB)
+	edits, ok := ir.Diff(old, new)
+	if !ok {
+		t.Fatal("diff not expressible")
+	}
+	if len(edits) != 1 || edits[0].Kind != ir.EditReplaceStmt {
+		t.Fatalf("expected one replace edit, got %+v", edits)
+	}
+	applied := old.Clone()
+	if _, err := ir.ApplyEdits(applied, edits); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	// A second diff against the target must be empty.
+	again, ok := ir.Diff(applied, new)
+	if !ok || len(again) != 0 {
+		t.Fatalf("roundtrip incomplete: ok=%v edits=%+v", ok, again)
+	}
+}
+
+func TestDiffAddFuncAndVar(t *testing.T) {
+	srcB := `
+	int a, b, c, d;
+	int *x, *y, *p, *q;
+	void fresh() {
+		q = &d;
+	}
+	void main() {
+		x = &a;
+		y = &b;
+		p = &c;
+		x = y;
+	}
+`
+	old := lower(t, editProgA)
+	new := lower(t, srcB)
+	edits, ok := ir.Diff(old, new)
+	if !ok {
+		t.Fatal("diff not expressible")
+	}
+	applied := old.Clone()
+	sum, err := ir.ApplyEdits(applied, edits)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !sum.Structural {
+		t.Fatal("adding a function must be structural")
+	}
+	fid, ok2 := applied.FuncByName["fresh"]
+	if !ok2 {
+		t.Fatal("function not added")
+	}
+	f := applied.Func(fid)
+	if f.Entry == ir.NoLoc || f.Exit == ir.NoLoc {
+		t.Fatal("added function lacks entry/exit")
+	}
+	q, ok3 := applied.VarByName["q"]
+	if !ok3 {
+		t.Fatal("variable q not added")
+	}
+	found := false
+	for _, loc := range f.Nodes {
+		st := applied.Node(loc).Stmt
+		if st.Op == ir.OpAddr && st.Dst == q {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("added function body missing q = &d")
+	}
+}
+
+func TestDiffRemovedVarNotExpressible(t *testing.T) {
+	srcB := `
+	int a, b;
+	int *x, *y;
+	void main() {
+		x = &a;
+		y = &b;
+	}
+`
+	old := lower(t, editProgA)
+	new := lower(t, srcB)
+	if _, ok := ir.Diff(old, new); ok {
+		t.Fatal("diff with removed variables must not be expressible")
+	}
+}
+
+func TestRemoveFuncTombstonesCalls(t *testing.T) {
+	src := `
+		int a;
+		int *g;
+		void callee() { g = &a; }
+		void main() { callee(); }
+	`
+	p := lower(t, src).Clone()
+	sum, err := ir.ApplyEdits(p, []ir.Edit{{Kind: ir.EditRemoveFunc, Name: "callee"}})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !sum.Structural {
+		t.Fatal("removefunc must be structural")
+	}
+	for _, n := range p.Nodes {
+		if n.Stmt.Op == ir.OpCall {
+			t.Fatalf("call to removed function survived at %d", n.Loc)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("program invalid after removefunc: %v", err)
+	}
+}

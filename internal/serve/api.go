@@ -142,6 +142,95 @@ type CheckResponse struct {
 	RetryAfterMS int64          `json:"retry_after_ms,omitempty"`
 }
 
+// EditSpec is one program edit of POST /edit, addressed symbolically:
+// statement locations are the stable Loc values the program keeps across
+// edits (tombstoning, never renumbering), variables and functions go by
+// name.
+type EditSpec struct {
+	// Action selects the edit: "replace" or "insert" (statement payload
+	// from Op/Dst/Src), "delete" (Loc only), or "addvar" (Name, Kind and,
+	// for locals, Fn).
+	Action string `json:"action"`
+	// Loc is the edited statement ("replace"/"delete") or the insertion
+	// anchor ("insert": the new statement is spliced after it).
+	Loc int64 `json:"loc,omitempty"`
+	// Op names the replacement/inserted statement's operator: copy, addr,
+	// load, store, nullify, assume_eq or assume_neq.
+	Op  string `json:"op,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	Src string `json:"src,omitempty"`
+	// Name/Kind/Fn describe an "addvar" edit (Kind "global" or "local";
+	// local variables require Fn).
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	Fn   string `json:"fn,omitempty"`
+}
+
+// EditRequest is the body of POST /edit: a batch of edits applied
+// atomically to the live snapshot. Concurrent requests are coalesced —
+// one leader applies every queued batch in arrival order and publishes a
+// single new snapshot; every caller's response still reports its own
+// batch.
+type EditRequest struct {
+	Edits []EditSpec `json:"edits"`
+	// TimeoutMS lowers the server's per-edit deadline (never raises it).
+	// On expiry, affected clusters degrade through the analysis' retry
+	// ladder; the edit itself still lands.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// EditResponse reports one applied edit batch.
+type EditResponse struct {
+	// Snapshot is the snapshot id that first includes this batch.
+	Snapshot int64 `json:"snapshot"`
+	// Applied counts the batch's edits.
+	Applied int `json:"applied"`
+	// Coalesced reports the batch was processed together with other
+	// concurrently submitted batches (they share the published snapshot).
+	Coalesced bool `json:"coalesced"`
+	// Clusters/Dirty/Reused/Resolved summarize the incremental re-solve:
+	// cover size, invalidated clusters, clusters carried over verbatim,
+	// and dirty clusters eagerly re-solved.
+	Clusters int `json:"clusters"`
+	Dirty    int `json:"dirty"`
+	Reused   int `json:"reused"`
+	Resolved int `json:"resolved"`
+	// FellBack reports the batch could not be mapped incrementally (e.g.
+	// it changed a function signature or the cluster cover) and a full
+	// warm reanalysis ran instead; Reason says why.
+	FellBack  bool   `json:"fell_back,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// StreamEvent is one GET /subscribe server-sent event (the JSON `data:`
+// payload; the SSE `event:` field repeats Type).
+type StreamEvent struct {
+	// Type is "snapshot" (a new snapshot was published), "cluster" (one
+	// cluster's incremental status under that snapshot) or "invalidate"
+	// (a previously answered query may answer differently now).
+	Type     string `json:"type"`
+	Snapshot int64  `json:"snapshot"`
+
+	// snapshot events.
+	Clusters int  `json:"clusters,omitempty"`
+	Dirty    int  `json:"dirty,omitempty"`
+	Reused   int  `json:"reused,omitempty"`
+	FellBack bool `json:"fell_back,omitempty"`
+	Reloaded bool `json:"reloaded,omitempty"` // full /reload, not an edit
+
+	// cluster events: the cluster id and "resolved" or "pending" (lazy
+	// clusters re-solve on first query).
+	Cluster int    `json:"cluster,omitempty"`
+	Status  string `json:"status,omitempty"`
+
+	// invalidate events: the query key whose cached answer is stale.
+	Kind string `json:"kind,omitempty"`
+	P    string `json:"p,omitempty"`
+	Q    string `json:"q,omitempty"`
+	At   string `json:"at,omitempty"`
+}
+
 // ChaosRequest arms (or, all-zero, disarms) the server's fault
 // injection. Only served when the daemon was started with chaos enabled.
 type ChaosRequest struct {

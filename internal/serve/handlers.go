@@ -23,6 +23,8 @@ import (
 //	GET  /v1/info                                      snapshot + server state
 //	GET  /v1/vars                                      query population for load drivers
 //	POST /reload        {"source":..} | {"variant":n}  snapshot swap
+//	POST /edit          {"edits":[..]}                 incremental edit (ApplyEdit + swap)
+//	GET  /subscribe                                    SSE stream: snapshot/cluster/invalidate
 //	POST /chaos         (only with AllowChaos)         arm/disarm fault injection
 //	GET  /healthz                                      process liveness (always 200)
 //	GET  /readyz                                       200 iff serving and not draining
@@ -46,6 +48,8 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /v1/info", s.handleInfo)
 		mux.HandleFunc("GET /v1/vars", s.handleVars)
 		mux.HandleFunc("POST /reload", s.handleReload)
+		mux.HandleFunc("POST /edit", s.handleEdit)
+		mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 		if s.cfg.AllowChaos {
 			mux.HandleFunc("POST /chaos", s.handleChaos)
 		}
@@ -260,6 +264,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, kind queryK
 		s.mDegraded.Add(1)
 	}
 	sp.Arg("degraded", resp.Degraded).End()
+	// Remember the answered key so /subscribe can push a precise
+	// invalidation if a later edit dirties one of its clusters.
+	s.recordQuery(sn.ID, kind, req.P, req.Q, req.At)
 	writeJSON(w, http.StatusOK, resp)
 }
 

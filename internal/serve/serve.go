@@ -65,6 +65,12 @@ type Config struct {
 	// cmd/aliasd and tests share one knob.
 	DrainTimeout time.Duration
 
+	// EditTimeout bounds each POST /edit batch's incremental re-solve
+	// (default 15s; a request may lower it via timeout_ms). On expiry the
+	// affected clusters degrade through the analysis' retry ladder — the
+	// edit still lands and the snapshot still swaps.
+	EditTimeout time.Duration
+
 	// Regen, when non-nil, lets POST /reload regenerate the program
 	// without shipping source over the wire: cmd/aliasd re-reads the
 	// program file, or re-synthesizes the -synth workload salted by the
@@ -99,7 +105,19 @@ type Server struct {
 	inj  *faults.ServeInjector
 
 	snap     atomic.Pointer[Snapshot]
-	reloadMu sync.Mutex // serializes swap(); queries never take it
+	reloadMu sync.Mutex // serializes swap() and edit application; queries never take it
+
+	// Edit coalescing: concurrent POST /edit batches queue here; whoever
+	// holds reloadMu drains the queue and publishes one snapshot for all
+	// of them (see edit.go).
+	editMu sync.Mutex
+	editQ  []*editWaiter
+
+	// Live subscriptions (GET /subscribe) and the recent-query ring the
+	// invalidation events are derived from (see stream.go).
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+	ring  queryRing
 
 	handlerOnce sync.Once
 	handler     http.Handler
@@ -113,16 +131,22 @@ type Server struct {
 	// shed clients an honest Retry-After.
 	coldEWMA atomic.Int64
 
-	mQueries    *obs.Counter
-	mWarm       *obs.Counter
-	mCold       *obs.Counter
-	mDegraded   *obs.Counter
-	mShed       *obs.Counter
-	mReloads    *obs.Counter
-	mReloadFail *obs.Counter
-	mPanics     *obs.Counter
-	hQuery      *obs.Histogram
-	hCold       *obs.Histogram
+	mQueries     *obs.Counter
+	mWarm        *obs.Counter
+	mCold        *obs.Counter
+	mDegraded    *obs.Counter
+	mShed        *obs.Counter
+	mReloads     *obs.Counter
+	mReloadFail  *obs.Counter
+	mPanics      *obs.Counter
+	mEdits       *obs.Counter
+	mEditFail    *obs.Counter
+	mEditFellTo  *obs.Counter
+	mCoalesced   *obs.Counter
+	mInvalidated *obs.Counter
+	hQuery       *obs.Histogram
+	hCold        *obs.Histogram
+	hEdit        *obs.Histogram
 }
 
 // New builds a Server from cfg. It does not load a program: call Load
@@ -147,6 +171,9 @@ func New(cfg Config) *Server {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.EditTimeout <= 0 {
+		cfg.EditTimeout = 15 * time.Second
+	}
 
 	acfg := cfg.Analysis
 	acfg.Lazy = true
@@ -162,7 +189,7 @@ func New(cfg Config) *Server {
 		acfg.ClusterTimeout = 2 * cfg.QueryTimeout
 	}
 
-	s := &Server{cfg: cfg, inj: cfg.Injector}
+	s := &Server{cfg: cfg, inj: cfg.Injector, subs: map[*subscriber]struct{}{}}
 	if cfg.AllowChaos {
 		// One mutable plan for the server's lifetime: /chaos re-arms it
 		// under live traffic. While nothing is armed, Plan.Active() is
@@ -189,8 +216,20 @@ func New(cfg Config) *Server {
 		s.mReloads = m.Counter("aliasd_reloads_total", "successful snapshot swaps")
 		s.mReloadFail = m.Counter("aliasd_reload_failures_total", "rejected reloads (old snapshot kept serving)")
 		s.mPanics = m.Counter("aliasd_handler_panics_total", "handler panics recovered into 500s")
+		s.mEdits = m.Counter("aliasd_edits_total", "edit batches applied")
+		s.mEditFail = m.Counter("aliasd_edit_failures_total", "rejected edit batches (snapshot unchanged)")
+		s.mEditFellTo = m.Counter("aliasd_edit_fallbacks_total", "edit batches that fell back to full reanalysis")
+		s.mCoalesced = m.Counter("aliasd_edits_coalesced_total", "edit batches processed by another batch's leader")
+		s.mInvalidated = m.Counter("aliasd_invalidations_total", "invalidation events pushed to subscribers")
 		s.hQuery = m.Histogram("aliasd_query_seconds", "query latency, all queries", obs.SecondsBuckets)
 		s.hCold = m.Histogram("aliasd_cold_query_seconds", "query latency, cold queries", obs.SecondsBuckets)
+		s.hEdit = m.Histogram("aliasd_edit_seconds", "edit batch latency (resolve + incremental re-solve)", obs.SecondsBuckets)
+		m.GaugeFunc("aliasd_subscribers", "live /subscribe connections",
+			func() float64 {
+				s.subMu.Lock()
+				defer s.subMu.Unlock()
+				return float64(len(s.subs))
+			})
 		m.GaugeFunc("aliasd_queue_waiting", "cold queries waiting for admission",
 			func() float64 { return float64(s.waiting.Load()) })
 		m.GaugeFunc("aliasd_snapshot", "serving snapshot id (0 = none)",

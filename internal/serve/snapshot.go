@@ -118,6 +118,13 @@ func (s *Server) swap(ctx context.Context, desc, src string) (*Snapshot, error) 
 		time.Sleep(d)
 	}
 	s.snap.Store(sn)
+	// A different program answers from here on: every remembered query
+	// answer is stale, and subscribers need the new anchor.
+	s.invalidateAllQueries(sn.ID)
+	s.publishEvent(StreamEvent{
+		Type: "snapshot", Snapshot: sn.ID,
+		Clusters: len(sn.A.Clusters), Reloaded: true,
+	})
 	return sn, nil
 }
 

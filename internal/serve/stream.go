@@ -1,0 +1,216 @@
+package serve
+
+// GET /subscribe: live server-sent events. Subscribers get a "snapshot"
+// event whenever a new snapshot is published (edit or reload), "cluster"
+// events for the clusters an edit dirtied, and "invalidate" events for
+// recently answered queries whose answer the edit may have changed —
+// the signal an IDE or cache layer needs to re-ask only what moved.
+//
+// Invalidation is computed, not guessed: the server keeps a bounded ring
+// of recently answered query keys; after an incremental edit, a recorded
+// query is invalidated exactly when one of its pointer's clusters in the
+// new cover was dirtied (reused clusters are fingerprint-identical, so
+// their answers provably did not change). A full reload — or an edit
+// that fell back to full reanalysis — invalidates the whole ring.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bootstrap/internal/core"
+)
+
+// subscriber is one live /subscribe connection. Events are delivered
+// best-effort: a subscriber that cannot keep up has events dropped, not
+// buffered without bound (the stream is a change signal, not a journal).
+type subscriber struct {
+	ch chan StreamEvent
+}
+
+const subscriberBuffer = 256
+
+// publishEvent fans one event out to every live subscriber.
+func (s *Server) publishEvent(ev StreamEvent) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for sub := range s.subs {
+		select {
+		case sub.ch <- ev:
+		default: // slow consumer: drop
+		}
+	}
+}
+
+// handleSubscribe serves the SSE stream until the client disconnects or
+// the server drains.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	sub := &subscriber{ch: make(chan StreamEvent, subscriberBuffer)}
+	s.subMu.Lock()
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	defer func() {
+		s.subMu.Lock()
+		delete(s.subs, sub)
+		s.subMu.Unlock()
+	}()
+
+	// Opening event: the currently serving snapshot, so a subscriber can
+	// anchor before the first change arrives.
+	if sn := s.snap.Load(); sn != nil {
+		writeSSE(w, StreamEvent{Type: "snapshot", Snapshot: sn.ID, Clusters: len(sn.A.Clusters)})
+	}
+	fl.Flush()
+
+	ping := time.NewTicker(15 * time.Second)
+	defer ping.Stop()
+	for {
+		select {
+		case ev := <-sub.ch:
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-ping.C:
+			if s.draining.Load() {
+				return
+			}
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev StreamEvent) {
+	data, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+// ringCap bounds the recent-query ring invalidation scans over.
+const ringCap = 512
+
+// ringEntry is one recently answered query key, tagged with the
+// snapshot that answered it.
+type ringEntry struct {
+	snap int64
+	kind string
+	p, q string
+	at   string
+}
+
+// queryRing is a bounded ring of recently answered queries.
+type queryRing struct {
+	mu      sync.Mutex
+	entries [ringCap]ringEntry
+	n       int // total appended (next slot = n % ringCap)
+}
+
+func (qr *queryRing) add(e ringEntry) {
+	qr.mu.Lock()
+	qr.entries[qr.n%ringCap] = e
+	qr.n++
+	qr.mu.Unlock()
+}
+
+// sweep visits every live entry; the visitor returns the entry's
+// replacement, or nil to drop it.
+func (qr *queryRing) sweep(visit func(ringEntry) *ringEntry) {
+	qr.mu.Lock()
+	defer qr.mu.Unlock()
+	live := qr.n
+	if live > ringCap {
+		live = ringCap
+	}
+	for i := 0; i < live; i++ {
+		e := qr.entries[i]
+		if e.kind == "" {
+			continue
+		}
+		if r := visit(e); r != nil {
+			qr.entries[i] = *r
+		} else {
+			qr.entries[i] = ringEntry{}
+		}
+	}
+}
+
+// recordQuery remembers one answered query for later invalidation.
+func (s *Server) recordQuery(snap int64, kind queryKind, p, q, at string) {
+	s.ring.add(ringEntry{snap: snap, kind: kind.String(), p: p, q: q, at: at})
+}
+
+// invalidateQueries sweeps the recent-query ring after one incremental
+// edit generation: entries whose pointers only touch reused clusters are
+// retagged to the successor snapshot (their answers are unchanged —
+// reused clusters are fingerprint-identical); entries touching a dirty
+// cluster, or predating a fallback reanalysis, are dropped and announced
+// to subscribers.
+func (s *Server) invalidateQueries(a2 *core.Analysis, rep *core.EditReport) {
+	dirty := make(map[int]bool, len(rep.DirtyIDs))
+	for _, id := range rep.DirtyIDs {
+		dirty[id] = true
+	}
+	nextSnap := int64(0)
+	if sn := s.snap.Load(); sn != nil {
+		nextSnap = sn.ID + 1
+	}
+	s.ring.sweep(func(e ringEntry) *ringEntry {
+		stale := rep.FellBack
+		if !stale {
+			for _, name := range []string{e.p, e.q} {
+				if name == "" {
+					continue
+				}
+				v, ok := a2.Prog.VarByName[name]
+				if !ok {
+					stale = true
+					break
+				}
+				for _, id := range a2.ClustersOf(v) {
+					if dirty[id] {
+						stale = true
+						break
+					}
+				}
+				if stale {
+					break
+				}
+			}
+		}
+		if !stale {
+			e.snap = nextSnap
+			return &e
+		}
+		s.mInvalidated.Add(1)
+		s.publishEvent(StreamEvent{
+			Type: "invalidate", Snapshot: nextSnap,
+			Kind: e.kind, P: e.p, Q: e.q, At: e.at,
+		})
+		return nil
+	})
+}
+
+// invalidateAllQueries drops the whole ring (full /reload: a different
+// program answers from now on).
+func (s *Server) invalidateAllQueries(nextSnap int64) {
+	s.ring.sweep(func(e ringEntry) *ringEntry {
+		s.mInvalidated.Add(1)
+		s.publishEvent(StreamEvent{
+			Type: "invalidate", Snapshot: nextSnap,
+			Kind: e.kind, P: e.p, Q: e.q, At: e.at,
+		})
+		return nil
+	})
+}
